@@ -1,0 +1,51 @@
+// Command asfbench regenerates the paper's evaluation artifacts — Figures
+// 3–9 and Table 1 — on the simulated ASF stack and prints them as text
+// tables.
+//
+// Usage:
+//
+//	asfbench -experiment fig4          # one figure
+//	asfbench -experiment all           # everything (slow)
+//	asfbench -experiment fig5 -scale 0.25 -v
+//
+// Scale shrinks the workload sizes proportionally; 1.0 is the reported
+// configuration. -v streams per-run progress to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"asfstack/internal/harness"
+)
+
+func main() {
+	exp := flag.String("experiment", "all",
+		"experiment to run: "+strings.Join(harness.Names, ", ")+", or all")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = reported configuration)")
+	verbose := flag.Bool("v", false, "stream per-run progress to stderr")
+	flag.Parse()
+
+	var prog io.Writer = io.Discard
+	if *verbose {
+		prog = os.Stderr
+	}
+
+	names := harness.Names
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	for _, name := range names {
+		tables, err := harness.Run(strings.TrimSpace(name), *scale, prog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asfbench:", err)
+			os.Exit(2)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+	}
+}

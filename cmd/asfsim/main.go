@@ -1,0 +1,84 @@
+// Command asfsim runs a single workload configuration on the simulated ASF
+// stack and prints its measurements — the one-off counterpart to
+// cmd/asfbench's full sweeps.
+//
+//	asfsim -workload intset -structure rbtree -runtime LLB-256 -threads 8
+//	asfsim -workload stamp -app vacation-low -runtime STM -threads 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asfstack/internal/intset"
+	"asfstack/internal/sim"
+	"asfstack/internal/stamp"
+)
+
+func main() {
+	workload := flag.String("workload", "intset", "intset or stamp")
+	runtimeName := flag.String("runtime", "LLB-256", "LLB-8, LLB-256, LLB-8 w/ L1, LLB-256 w/ L1, STM, Sequential")
+	threads := flag.Int("threads", 4, "simulated cores")
+	seed := flag.Int64("seed", 42, "random seed")
+
+	structure := flag.String("structure", "rbtree", "intset: linkedlist, skiplist, rbtree, hashset")
+	keyRange := flag.Uint64("range", 1024, "intset: key range")
+	update := flag.Int("update", 20, "intset: update percentage")
+	ops := flag.Int("ops", 1500, "intset: operations per thread")
+	early := flag.Bool("early-release", false, "intset: hand-over-hand list traversal")
+
+	app := flag.String("app", "genome", "stamp: application name")
+	scale := flag.Float64("scale", 1.0, "stamp: input scale")
+	flag.Parse()
+
+	switch *workload {
+	case "intset":
+		r := intset.Run(intset.Config{
+			Structure: *structure, Runtime: *runtimeName, Threads: *threads,
+			Range: *keyRange, UpdatePct: *update, OpsPerThread: *ops,
+			EarlyRelease: *early, Seed: *seed,
+		})
+		fmt.Printf("workload     intset %s (range=%d, %d%% upd, %d threads)\n",
+			*structure, *keyRange, *update, *threads)
+		fmt.Printf("runtime      %s\n", *runtimeName)
+		fmt.Printf("throughput   %.2f tx/µs\n", r.Throughput())
+		fmt.Printf("duration     %.3f ms simulated\n", float64(r.Cycles)/2_200_000)
+		printStats(r.Stats.Commits, r.Stats.Serial, r.Stats.TotalAborts(), r.Stats.STMAborts)
+		printBreakdown(r.Breakdown)
+	case "stamp":
+		r, err := stamp.Run(stamp.Config{
+			App: *app, Runtime: *runtimeName, Threads: *threads,
+			Scale: *scale, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asfsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("workload     stamp %s (scale %.2f, %d threads)\n", *app, *scale, *threads)
+		fmt.Printf("runtime      %s\n", *runtimeName)
+		fmt.Printf("duration     %.3f ms simulated\n", r.Millis)
+		printStats(r.Stats.Commits, r.Stats.Serial, r.Stats.TotalAborts(), r.Stats.STMAborts)
+		printBreakdown(r.Breakdown)
+	default:
+		fmt.Fprintf(os.Stderr, "asfsim: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+}
+
+func printStats(commits, serial, aborts, stmAborts uint64) {
+	fmt.Printf("commits      %d (%d serial-irrevocable)\n", commits, serial)
+	fmt.Printf("aborts       %d (%d software)\n", aborts, stmAborts)
+}
+
+func printBreakdown(b sim.Breakdown) {
+	total := b.Total()
+	if total == 0 {
+		return
+	}
+	fmt.Printf("cycles       %d total\n", total)
+	for i := 0; i < sim.NumCategories; i++ {
+		c := sim.Category(i)
+		fmt.Printf("  %-16s %12d  (%5.1f%%)\n", c, b[c], float64(b[c])/float64(total)*100)
+	}
+}

@@ -1,0 +1,3 @@
+module asfstack
+
+go 1.22

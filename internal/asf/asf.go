@@ -1,0 +1,124 @@
+// Package asf implements AMD's Advanced Synchronization Facility (ASF) —
+// the experimental AMD64 architecture extension the paper evaluates — on the
+// simulated machine of package sim.
+//
+// ASF adds seven instructions for speculative code regions: SPECULATE,
+// COMMIT, ABORT, LOCK MOV (speculative load/store), WATCHR, WATCHW, and
+// RELEASE. This package models their architectural semantics:
+//
+//   - cache-line-granularity protection with a requester-wins contention
+//     policy piggybacked on the coherence protocol: an incompatible access
+//     always aborts the region that already holds the line;
+//   - strong isolation: conflicts with plain (non-transactional) accesses
+//     from other cores also abort, and aborts are instantaneous — no
+//     speculative side effect ever becomes visible;
+//   - selective annotation: plain and LOCK-prefixed accesses coexist inside
+//     a region; plain accesses are not protected (and not rolled back),
+//     which keeps thread-local data out of the hardware's capacity;
+//   - flat dynamic nesting up to depth 256;
+//   - abort on exceptions, interrupts and system calls — but not on TLB
+//     misses;
+//   - eventual forward progress for regions of at most 4 lines (the
+//     architectural minimum capacity), on LLB-based implementations;
+//   - the colocation rule: an unprotected store to a line this region has
+//     speculatively modified raises an exception, while unprotected
+//     accesses to read-set lines are hoisted into the protected set.
+//
+// Two hardware implementation variants from §2.3 are provided, in the four
+// configurations of the evaluation: a pure locked-line-buffer design (the
+// LLB tracks and versions both sets) and the hybrid design (L1 cache tracks
+// the read set via speculative-read bits — with the capacity and
+// displacement artifacts the paper measures — while the LLB tracks and
+// versions the write set).
+package asf
+
+import "fmt"
+
+// Variant selects an ASF hardware implementation configuration.
+type Variant struct {
+	// Name is the label used in the paper's figures.
+	Name string
+	// LLBEntries is the locked-line buffer capacity in cache lines. In
+	// the pure-LLB design this bounds read set + write set together; in
+	// the hybrid design it bounds only the write set.
+	LLBEntries int
+	// L1ReadSet selects the hybrid design: the read set is tracked by
+	// speculative-read bits in the (2-way set associative) L1, subject to
+	// displacement by associativity conflicts and plain refills.
+	L1ReadSet bool
+	// CacheBased selects the pure cache-based design of §2.3: both sets
+	// live in L1 speculative bits and no LLB exists. Capacity is the L1
+	// way count per index; any displacement of a marked line aborts.
+	// (The paper describes but does not evaluate this variant; it is
+	// provided for ablation.)
+	CacheBased bool
+	// ASF1 reproduces the earlier ASF revision discussed in §6: the
+	// protected set cannot grow once the region has speculatively
+	// written (the "atomic phase"). Protecting a new line afterwards
+	// raises a disallowed-operation abort. For ablation against ASF2's
+	// dynamic expansion.
+	ASF1 bool
+}
+
+func (v Variant) String() string { return v.Name }
+
+// The four configurations evaluated in the paper (§5).
+var (
+	LLB8     = Variant{Name: "LLB-8", LLBEntries: 8}
+	LLB256   = Variant{Name: "LLB-256", LLBEntries: 256}
+	LLB8L1   = Variant{Name: "LLB-8 w/ L1", LLBEntries: 8, L1ReadSet: true}
+	LLB256L1 = Variant{Name: "LLB-256 w/ L1", LLBEntries: 256, L1ReadSet: true}
+)
+
+// Ablation configurations described by the paper but not part of its main
+// evaluation.
+var (
+	// CacheOnly is §2.3's first implementation variant: read and write
+	// sets both tracked by L1 speculative bits, no locked-line buffer.
+	CacheOnly = Variant{Name: "Cache-based", L1ReadSet: true, CacheBased: true}
+	// ASF1LLB256 is the §6 predecessor revision on an LLB-256: the
+	// protected set is frozen at the first speculative store.
+	ASF1LLB256 = Variant{Name: "ASF1 LLB-256", LLBEntries: 256, ASF1: true}
+)
+
+// Variants lists the four evaluated configurations in figure order.
+var Variants = []Variant{LLB8, LLB256, LLB8L1, LLB256L1}
+
+// AllVariants additionally includes the ablation configurations.
+var AllVariants = append(append([]Variant{}, Variants...), CacheOnly, ASF1LLB256)
+
+// VariantByName resolves a figure label (e.g. "LLB-256 w/ L1").
+func VariantByName(name string) (Variant, error) {
+	for _, v := range AllVariants {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return Variant{}, fmt.Errorf("asf: unknown variant %q", name)
+}
+
+// Architectural constants from the ASF specification proposal (rev 2.1).
+const (
+	// MinCapacityLines is the architectural minimum: eventual forward
+	// progress is ensured (absent contention and exceptions) for regions
+	// protecting at most this many 64-byte lines.
+	MinCapacityLines = 4
+
+	// MaxNesting is the maximum dynamic (flat) nesting depth.
+	MaxNesting = 256
+)
+
+// Instruction cycle costs for a feasible implementation, used by the
+// simulator's timing model. SPECULATE/COMMIT serialise parts of the
+// pipeline; ABORT additionally restores LLB backups (per-line cost charged
+// separately).
+const (
+	SpeculateCost   = 10
+	CommitCost      = 14
+	AbortBaseCost   = 30
+	AbortPerLine    = 4 // write-back of one LLB backup line
+	WatchCost       = 0 // charged as the underlying probe access
+	ReleaseCost     = 2
+	NestedSpecCost  = 2 // nested SPECULATE just bumps the depth counter
+	NestedComitCost = 2
+)

@@ -1,0 +1,173 @@
+package asf
+
+import (
+	"fmt"
+
+	"asfstack/internal/mem"
+	"asfstack/internal/sim"
+)
+
+// System is the machine-wide ASF facility: one speculative Unit per core
+// plus the conflict-detection state that, on real hardware, piggybacks on
+// the cache-coherence protocol. It installs itself into the simulator's
+// access and eviction hooks; from then on every memory access from every
+// core is checked against all protected lines (strong isolation).
+type System struct {
+	m       *sim.Machine
+	variant Variant
+	units   []*Unit
+
+	// prot maps a line address to its protection state — the model of
+	// what coherence probes would discover. Entries exist only while some
+	// region protects the line.
+	prot map[mem.Addr]*protState
+}
+
+type protState struct {
+	readers uint32 // cores monitoring the line (read or write set)
+	writer  int8   // core holding it speculatively modified, or -1
+}
+
+// Install builds the ASF system for machine m with the given implementation
+// variant and hooks it into the simulator. Each core's Unit is registered
+// as its speculative unit.
+func Install(m *sim.Machine, v Variant) *System {
+	s := &System{
+		m:       m,
+		variant: v,
+		prot:    make(map[mem.Addr]*protState),
+	}
+	for i := 0; i < m.Config().Cores; i++ {
+		u := newUnit(s, m.CPU(i))
+		s.units = append(s.units, u)
+		m.CPU(i).SetSpecUnit(u)
+	}
+	m.SetAccessHook(s.onAccess)
+	m.Hier.SetEvictHook(s.onEvict)
+	return s
+}
+
+// Variant returns the installed implementation configuration.
+func (s *System) Variant() Variant { return s.variant }
+
+// Unit returns core i's speculative unit.
+func (s *System) Unit(i int) *Unit { return s.units[i] }
+
+func (s *System) protFor(line mem.Addr) *protState {
+	p, ok := s.prot[line]
+	if !ok {
+		p = &protState{writer: -1}
+		s.prot[line] = p
+	}
+	return p
+}
+
+// maybeRelease drops the directory entry once nobody protects the line.
+func (s *System) maybeRelease(line mem.Addr, p *protState) {
+	if p.readers == 0 && p.writer < 0 {
+		delete(s.prot, line)
+	}
+}
+
+// onAccess is the simulator access hook: it implements conflict detection
+// (requester-wins), selective annotation, the colocation rules, and
+// read/write-set tracking. It runs on the accessing core's goroutine with
+// the global turn held.
+func (s *System) onAccess(c *sim.CPU, addr mem.Addr, f sim.Flags) {
+	line := addr.Line()
+	self := c.ID()
+	u := s.units[self]
+	write := f&sim.FWrite != 0
+	locked := f&sim.FLocked != 0
+
+	if f&sim.FPre != 0 {
+		// Probe phase, before the cache model moves any line: resolve
+		// conflicts (requester wins) so victims roll back — and their
+		// speculative marks flash-clear — before this access's fills
+		// and invalidations can displace the marks (which would
+		// misreport contention as capacity).
+		if p, ok := s.prot[line]; ok {
+			if w := int(p.writer); w >= 0 && w != self {
+				s.units[w].asyncAbort(sim.AbortContention)
+			}
+			if write {
+				rd := p.readers &^ (1 << uint(self))
+				for o := 0; rd != 0; o, rd = o+1, rd>>1 {
+					if rd&1 != 0 {
+						s.units[o].asyncAbort(sim.AbortContention)
+					}
+				}
+			}
+		}
+		return
+	}
+
+	if !u.active {
+		if locked {
+			if c.AbortPending() {
+				// The region was rolled back mid-operation (e.g.
+				// its own refill displaced a speculative-read
+				// line); the abort is delivered at the next
+				// operation and this access's effects are moot.
+				return
+			}
+			// LOCK MOV / WATCH outside a speculative region is a
+			// disallowed-instruction fault in the specification.
+			panic(fmt.Sprintf("asf: core %d: speculative access at %v outside a region", self, addr))
+		}
+		return
+	}
+
+	// The region is active on this core (tracking phase).
+	p := s.prot[line]
+	switch {
+	case locked && write:
+		u.trackWrite(line)
+	case locked:
+		u.trackRead(line)
+	case write:
+		// Plain store inside a region. If this region speculatively
+		// modified the line, that is the colocation error ASF raises an
+		// exception for. If the line is only in the read set, ASF
+		// hoists the store into the transactional set.
+		if p != nil && int(p.writer) == self {
+			c.RaiseAbort(sim.AbortDisallowed, 0)
+		}
+		if p != nil && p.readers&(1<<uint(self)) != 0 {
+			u.trackWrite(line) // hoisting
+		}
+	default:
+		// Plain load: never tracked; reads current (possibly
+		// speculative) data. Nothing to do.
+	}
+}
+
+// onEvict is the cache eviction hook. Losing an L1 line that carries the
+// speculative-read mark means the hybrid implementation can no longer
+// monitor it: the owning region must abort (a capacity condition — this is
+// the displacement pathology §5 analyses).
+func (s *System) onEvict(core int, line mem.Addr, specRead bool) {
+	if !specRead || !s.variant.L1ReadSet {
+		return
+	}
+	u := s.units[core]
+	if u.active {
+		u.asyncAbort(sim.AbortCapacity)
+	}
+	_ = line
+}
+
+// abortAll aborts every active region except the one on core except
+// (pass -1 to abort all). Used by the serial-irrevocable fallback test
+// helpers and by lock-elision style code.
+func (s *System) abortAll(except int) {
+	for i, u := range s.units {
+		if i != except && u.active {
+			u.asyncAbort(sim.AbortContention)
+		}
+	}
+}
+
+// ProtectedLines returns how many lines are currently protected machine-
+// wide (diagnostics and tests).
+func (s *System) ProtectedLines() int { return len(s.prot) }

@@ -1,0 +1,344 @@
+// Package asftm is ASF-TM: the TM runtime of the paper (§3.2), implementing
+// the TM ABI of package tm on top of ASF speculative regions.
+//
+// The runtime provides what the ABI requires but ASF does not:
+//
+//   - a begin function combining a software setjmp (ASF restores only the
+//     instruction and stack pointers) with SPECULATE, and restart emulation
+//     by "returning from the begin function again";
+//   - contention management: exponential back-off on contention aborts, and
+//     a switch to the software fallback after repeated failures;
+//   - the serial-irrevocable fallback itself: a global token acquired with
+//     a plain CAS and *monitored* by every hardware transaction via a
+//     speculative read at begin — acquiring the token instantly aborts all
+//     in-flight regions, and new regions see it held and wait;
+//   - an abort-robust transactional allocator (thread-private pools; pool
+//     refills abort with a software code and run outside the region).
+//
+// Transactions that exceed ASF's capacity or fail too many times restart in
+// serial-irrevocable mode, as in the paper.
+package asftm
+
+import (
+	"asfstack/internal/asf"
+	"asfstack/internal/mem"
+	"asfstack/internal/sim"
+	"asfstack/internal/tm"
+)
+
+// Config tunes the runtime's contention management and ABI costs.
+type Config struct {
+	// MaxHWAttempts is how many hardware attempts are made before a
+	// transaction restarts in serial-irrevocable mode. Capacity
+	// overflows switch immediately.
+	MaxHWAttempts int
+	// BackoffBase and BackoffMax bound the exponential back-off (cycles).
+	BackoffBase uint64
+	BackoffMax  uint64
+
+	// ABI software costs, in instructions. BeginInstr covers the setjmp
+	// register checkpoint, descriptor setup and mode dispatch; the paper
+	// measures this added code making ASF's start/commit cost comparable
+	// to the STM's (Table 1).
+	BeginInstr   int
+	CommitInstr  int
+	BarrierInstr int // per Load/Store around the inlined LOCK MOV
+}
+
+// DefaultConfig returns the configuration used in the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		MaxHWAttempts: 16,
+		BackoffBase:   64,
+		BackoffMax:    1 << 14,
+		BeginInstr:    60,
+		CommitInstr:   16,
+		BarrierInstr:  2,
+	}
+}
+
+// Runtime implements tm.Runtime on ASF.
+type Runtime struct {
+	sys  *asf.System
+	heap *tm.Heap
+	cfg  Config
+
+	serialLock mem.Addr // global token, alone on its cache line
+
+	stats []tm.Stats
+	txs   []hwTx // per-core transaction descriptors (reused)
+	depth []int  // per-core flat-nesting depth of Atomic calls
+}
+
+// New builds the runtime for an installed ASF system. layout provides the
+// runtime's metadata region (the serial token).
+func New(sys *asf.System, heap *tm.Heap, m *sim.Machine, layout *mem.Layout) *Runtime {
+	base, _ := layout.Region(mem.LineSize)
+	m.Mem.Prefault(base, mem.LineSize)
+	cores := m.Config().Cores
+	r := &Runtime{
+		sys:        sys,
+		heap:       heap,
+		cfg:        DefaultConfig(),
+		serialLock: base,
+		stats:      make([]tm.Stats, cores),
+		txs:        make([]hwTx, cores),
+		depth:      make([]int, cores),
+	}
+	for i := range r.txs {
+		r.txs[i] = hwTx{r: r}
+	}
+	return r
+}
+
+// SetConfig replaces the contention-management configuration.
+func (r *Runtime) SetConfig(cfg Config) { r.cfg = cfg }
+
+// Name returns the ASF variant label (the figures key runs by it).
+func (r *Runtime) Name() string { return r.sys.Variant().Name }
+
+// Stats implements tm.Runtime.
+func (r *Runtime) Stats(core int) tm.Stats { return r.stats[core] }
+
+// ResetStats implements tm.Runtime.
+func (r *Runtime) ResetStats() {
+	for i := range r.stats {
+		r.stats[i] = tm.Stats{}
+		r.sys.Unit(i).ResetStats()
+	}
+}
+
+// Atomic implements tm.Runtime: the _ITM_beginTransaction /
+// _ITM_commitTransaction pair with all retry logic in between.
+func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
+	id := c.ID()
+	if r.depth[id] > 0 {
+		// Flat nesting at the language level: run inside the
+		// enclosing transaction.
+		r.depth[id]++
+		body(&r.txs[id])
+		r.depth[id]--
+		return
+	}
+	r.depth[id] = 1
+	defer func() { r.depth[id] = 0 }()
+
+	st := &r.stats[id]
+	u := r.sys.Unit(id)
+	t := &r.txs[id]
+	t.c, t.u, t.serial = c, u, false
+
+	attempts := 0
+	for {
+		c.SetCategory(sim.CatTxStartCommit)
+		snap := c.Counters()
+		c.Trace(sim.TraceTxBegin, 0)
+		c.Exec(r.cfg.BeginInstr)
+
+		reason, code := u.Region(func() {
+			// The global serial token is the first speculative
+			// read of every region: if a serial transaction holds
+			// it we must not proceed, and if one acquires it later
+			// the CAS write aborts us instantly.
+			if u.Load(r.serialLock) != 0 {
+				u.Abort(tm.CodeSerialRunning)
+			}
+			c.SetCategory(sim.CatTxApp)
+			body(t)
+			c.SetCategory(sim.CatTxStartCommit)
+			c.Exec(r.cfg.CommitInstr)
+		})
+
+		if reason == sim.AbortNone {
+			st.Commits++
+			c.Trace(sim.TraceTxCommit, 0)
+			c.SetCategory(sim.CatNonInstr)
+			return
+		}
+
+		// The attempt's cycles are wasted work: move them to the
+		// abort/restart bucket, like the paper's trace annotation.
+		c.MoveToAbort(snap)
+		c.Trace(sim.TraceTxAbort, uint64(reason))
+		c.SetCategory(sim.CatAbort)
+		attempts++
+
+		serial := false
+		switch reason {
+		case sim.AbortCapacity:
+			// No point retrying: the working set does not fit.
+			st.Aborts[sim.AbortCapacity]++
+			serial = true
+		case sim.AbortExplicit:
+			switch code {
+			case tm.CodeMallocRefill:
+				st.MallocAborts++
+				r.heap.Refill(c, r.heap.ChunkSize)
+			case tm.CodeSerialRunning:
+				st.Aborts[sim.AbortContention]++
+				r.waitSerialFree(c)
+			case tm.CodeSerialRequest:
+				st.Aborts[sim.AbortExplicit]++
+				serial = true
+			default:
+				st.Aborts[sim.AbortExplicit]++
+			}
+		case sim.AbortContention:
+			st.Aborts[sim.AbortContention]++
+			r.backoff(c, attempts)
+		default:
+			// Page fault (now handled), interrupt, syscall:
+			// retry immediately.
+			st.Aborts[reason]++
+		}
+
+		if serial || attempts > r.cfg.MaxHWAttempts {
+			r.runSerial(c, t, body)
+			return
+		}
+	}
+}
+
+// backoff spins for a randomised exponential delay.
+func (r *Runtime) backoff(c *sim.CPU, attempt int) {
+	limit := r.cfg.BackoffBase << uint(min(attempt, 8))
+	if limit > r.cfg.BackoffMax {
+		limit = r.cfg.BackoffMax
+	}
+	c.Cycles(uint64(c.Rand().Int63n(int64(limit))) + 1)
+}
+
+// waitSerialFree polls the token (plain reads; they do not conflict) until
+// the serial transaction releases it.
+func (r *Runtime) waitSerialFree(c *sim.CPU) {
+	for c.Load(r.serialLock) != 0 {
+		c.Cycles(200)
+	}
+}
+
+// runSerial executes body in serial-irrevocable mode: the global token is
+// taken with a plain CAS (aborting every in-flight hardware region that
+// monitors it), the body runs uninstrumented, and the token is released.
+func (r *Runtime) runSerial(c *sim.CPU, t *hwTx, body func(tx tm.Tx)) {
+	c.SetCategory(sim.CatTxStartCommit)
+	c.Trace(sim.TraceTxBegin, 0)
+	for {
+		if _, ok := c.CAS(r.serialLock, 0, 1); ok {
+			break
+		}
+		c.Cycles(uint64(c.Rand().Int63n(400)) + 100)
+	}
+	t.serial = true
+	c.SetCategory(sim.CatTxApp)
+	body(t)
+	c.SetCategory(sim.CatTxStartCommit)
+	c.Store(r.serialLock, 0)
+	t.serial = false
+	st := &r.stats[c.ID()]
+	st.Commits++
+	st.Serial++
+	c.Trace(sim.TraceTxCommit, 0)
+	c.SetCategory(sim.CatNonInstr)
+}
+
+// hwTx implements tm.Tx for both the hardware and the serial code path —
+// the two code paths the compiler generates, dispatched by the begin
+// function's return value (§3.1).
+type hwTx struct {
+	r      *Runtime
+	c      *sim.CPU
+	u      *asf.Unit
+	serial bool
+}
+
+// Load implements tm.Tx.
+func (t *hwTx) Load(a mem.Addr) mem.Word {
+	prev := t.c.SetCategory(sim.CatTxLoadStore)
+	var v mem.Word
+	if t.serial {
+		t.c.Exec(2) // serial-mode ABI dispatch
+		v = t.c.Load(a)
+	} else {
+		t.c.Exec(t.r.cfg.BarrierInstr)
+		v = t.u.Load(a)
+	}
+	t.c.SetCategory(prev)
+	return v
+}
+
+// Store implements tm.Tx.
+func (t *hwTx) Store(a mem.Addr, v mem.Word) {
+	prev := t.c.SetCategory(sim.CatTxLoadStore)
+	if t.serial {
+		t.c.Exec(2)
+		t.c.Store(a, v)
+	} else {
+		t.c.Exec(t.r.cfg.BarrierInstr)
+		t.u.Store(a, v)
+	}
+	t.c.SetCategory(prev)
+}
+
+// Alloc implements tm.Tx: pool allocation that aborts to refill.
+func (t *hwTx) Alloc(size uint64) mem.Addr {
+	for {
+		a, ok := t.r.heap.AllocFast(t.c, size, mem.WordSize)
+		if ok {
+			return a
+		}
+		if t.serial {
+			t.r.heap.Refill(t.c, size)
+			continue
+		}
+		// Unsafe to call the real allocator speculatively: abort,
+		// refill outside the region, retry (§3.3).
+		t.u.Abort(tm.CodeMallocRefill)
+	}
+}
+
+// AllocLines implements tm.Tx.
+func (t *hwTx) AllocLines(n int) mem.Addr {
+	for {
+		a, ok := t.r.heap.AllocFast(t.c, uint64(n)*mem.LineSize, mem.LineSize)
+		if ok {
+			return a
+		}
+		if t.serial {
+			t.r.heap.Refill(t.c, uint64(n)*mem.LineSize)
+			continue
+		}
+		t.u.Abort(tm.CodeMallocRefill)
+	}
+}
+
+// Free implements tm.Tx.
+func (t *hwTx) Free(a mem.Addr) { t.r.heap.Free(t.c) }
+
+// CPU implements tm.Tx.
+func (t *hwTx) CPU() *sim.CPU { return t.c }
+
+// Irrevocable implements tm.Tx.
+func (t *hwTx) Irrevocable() bool { return t.serial }
+
+// BecomeIrrevocable implements tm.Irrevocably: a hardware transaction
+// aborts with a software code and restarts directly in serial mode; a
+// serial transaction already is irrevocable.
+func (t *hwTx) BecomeIrrevocable() {
+	if !t.serial {
+		t.u.Abort(tm.CodeSerialRequest)
+	}
+}
+
+// Release exposes ASF early release to expert callers (the linked-list
+// workload's hand-over-hand traversal, Fig. 8). It is a no-op in serial
+// mode. Callers must type-assert the tm.Tx to *asftm.Tx — early release is
+// an ASF-specific extension, not part of the portable ABI.
+func (t *hwTx) Release(a mem.Addr) {
+	if !t.serial {
+		t.u.Release(a)
+	}
+}
+
+// Tx is the exported name of the runtime's transaction descriptor, for
+// ASF-specific extensions such as Release.
+type Tx = hwTx

@@ -1,0 +1,157 @@
+package cache
+
+import "asfstack/internal/mem"
+
+// entry is one cache line's bookkeeping. Data values live in mem.Memory;
+// the entry only tracks residency, dirtiness, recency, and the ASF
+// speculative-read mark used by the hybrid implementation variants.
+type entry struct {
+	line     mem.Addr
+	valid    bool
+	dirty    bool
+	specRead bool
+	lastUse  uint64
+}
+
+// array is a set-associative cache array with LRU replacement.
+type array struct {
+	sets    [][]entry
+	setMask mem.Addr
+	index   map[mem.Addr]*entry // line -> entry, for O(1) lookup
+}
+
+func newArray(sizeBytes, assoc int) *array {
+	nSets := sizeBytes / mem.LineSize / assoc
+	if nSets == 0 || nSets&(nSets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	a := &array{
+		sets:    make([][]entry, nSets),
+		setMask: mem.Addr(nSets - 1),
+		index:   make(map[mem.Addr]*entry, sizeBytes/mem.LineSize),
+	}
+	for i := range a.sets {
+		a.sets[i] = make([]entry, assoc)
+	}
+	return a
+}
+
+func (a *array) setFor(line mem.Addr) []entry {
+	return a.sets[(line>>mem.LineShift)&a.setMask]
+}
+
+// lookup returns the entry for line, or nil.
+func (a *array) lookup(line mem.Addr) *entry {
+	if e, ok := a.index[line]; ok {
+		return e
+	}
+	return nil
+}
+
+// insert places line into its set, returning the displaced victim (by
+// value) and true if a valid line was evicted.
+func (a *array) insert(line mem.Addr, now uint64) (victim entry, evicted bool) {
+	set := a.setFor(line)
+	var slot *entry
+	for i := range set {
+		e := &set[i]
+		if !e.valid {
+			slot = e
+			break
+		}
+		if slot == nil || e.lastUse < slot.lastUse {
+			slot = e
+		}
+	}
+	if slot.valid {
+		victim, evicted = *slot, true
+		delete(a.index, slot.line)
+	}
+	*slot = entry{line: line, valid: true, lastUse: now}
+	a.index[line] = slot
+	return victim, evicted
+}
+
+// remove invalidates line if present.
+func (a *array) remove(line mem.Addr) {
+	if e, ok := a.index[line]; ok {
+		*e = entry{}
+		delete(a.index, line)
+	}
+}
+
+// forEach visits every valid entry.
+func (a *array) forEach(fn func(*entry)) {
+	for _, e := range a.index {
+		fn(e)
+	}
+}
+
+// tlbArray is a set-associative TLB with LRU replacement over page numbers.
+type tlbArray struct {
+	sets    [][]tlbEntry
+	setMask mem.Addr
+}
+
+type tlbEntry struct {
+	page    mem.Addr
+	valid   bool
+	lastUse uint64
+}
+
+func newTLB(entries, assoc int) *tlbArray {
+	nSets := entries / assoc
+	if nSets == 0 {
+		nSets = 1
+	}
+	// Round set count up to a power of two for masking; fully associative
+	// TLBs (assoc == entries) have one set and are unaffected.
+	p := 1
+	for p < nSets {
+		p <<= 1
+	}
+	t := &tlbArray{sets: make([][]tlbEntry, p), setMask: mem.Addr(p - 1)}
+	for i := range t.sets {
+		t.sets[i] = make([]tlbEntry, assoc)
+	}
+	return t
+}
+
+func (t *tlbArray) setFor(page mem.Addr) []tlbEntry {
+	return t.sets[(page>>mem.PageShift)&t.setMask]
+}
+
+func (t *tlbArray) lookup(page mem.Addr, now uint64) bool {
+	set := t.setFor(page)
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			set[i].lastUse = now
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tlbArray) insert(page mem.Addr, now uint64) {
+	set := t.setFor(page)
+	var slot *tlbEntry
+	for i := range set {
+		e := &set[i]
+		if !e.valid {
+			slot = e
+			break
+		}
+		if slot == nil || e.lastUse < slot.lastUse {
+			slot = e
+		}
+	}
+	*slot = tlbEntry{page: page, valid: true, lastUse: now}
+}
+
+func (t *tlbArray) flush() {
+	for i := range t.sets {
+		for j := range t.sets[i] {
+			t.sets[i][j] = tlbEntry{}
+		}
+	}
+}

@@ -1,0 +1,465 @@
+// Package cache models the memory hierarchy of the simulated machine: one
+// private L1D and L2 per core, a shared L3, a two-level data TLB, and a
+// simplified invalidation-based coherence directory.
+//
+// The model mirrors PTLsim-ASF's configuration for the AMD family 10h
+// ("Barcelona") processor used in the paper:
+//
+//	L1D:  64 KB, 2-way set associative, 3 cycles load-to-use
+//	L2:  512 KB, 16-way set associative, 15 cycles load-to-use
+//	L3:    2 MB, 16-way set associative, 50 cycles load-to-use (shared)
+//	RAM:  210 cycles load-to-use
+//	D-TLB: 48 L1 entries fully associative; 512 L2 entries, 4-way
+//
+// Like PTLsim (a quirk the paper documents), only loads consult the TLB;
+// stores do not and are never delayed by TLB misses.
+//
+// The hierarchy is a *timing and occupancy* model: data values always live in
+// mem.Memory, which the simulation engine updates atomically. The caches
+// decide how many cycles each access costs, which lines are resident where,
+// and raise eviction callbacks that the ASF read-set tracking (hybrid
+// implementation variant) depends on.
+package cache
+
+import (
+	"asfstack/internal/mem"
+)
+
+// Config describes the hierarchy geometry and latencies, in cycles.
+type Config struct {
+	L1Size  int // bytes
+	L1Assoc int
+	L1Lat   uint64
+
+	L2Size  int
+	L2Assoc int
+	L2Lat   uint64
+
+	L3Size  int
+	L3Assoc int
+	L3Lat   uint64
+
+	MemLat uint64 // RAM load-to-use
+	C2CLat uint64 // dirty cache-to-cache transfer between cores
+
+	TLB1Entries int    // L1 TLB, fully associative
+	TLB2Entries int    // L2 TLB
+	TLB2Assoc   int    // L2 TLB associativity
+	TLB2Lat     uint64 // extra cycles on L1-TLB miss, L2 hit
+	WalkLat     uint64 // extra cycles for a full page-table walk
+
+	// StoresUseTLB enables TLB lookups for stores. PTLsim-ASF does not
+	// consult the TLB for stores (documented quirk, §5); the default
+	// Barcelona config leaves this false to match.
+	StoresUseTLB bool
+}
+
+// Barcelona returns the configuration used throughout the paper's
+// evaluation (§5, "ASF simulator").
+func Barcelona() Config {
+	return Config{
+		L1Size: 64 << 10, L1Assoc: 2, L1Lat: 3,
+		L2Size: 512 << 10, L2Assoc: 16, L2Lat: 15,
+		L3Size: 2 << 20, L3Assoc: 16, L3Lat: 50,
+		MemLat: 210, C2CLat: 120,
+		TLB1Entries: 48, TLB2Entries: 512, TLB2Assoc: 4,
+		TLB2Lat: 5, WalkLat: 40,
+		StoresUseTLB: false,
+	}
+}
+
+// AccessResult reports where an access hit and what it cost.
+type AccessResult struct {
+	Cycles  uint64
+	Level   Level // where the line was found
+	TLBMiss bool  // required a page-table walk
+}
+
+// Level identifies the hierarchy level that served an access.
+type Level uint8
+
+const (
+	L1 Level = iota
+	L2
+	L3
+	Remote // dirty line transferred from another core's cache
+	RAM
+)
+
+func (l Level) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	case Remote:
+		return "remote"
+	default:
+		return "RAM"
+	}
+}
+
+// EvictFn is called when a line leaves a core's private hierarchy entirely
+// (displaced from L1 and not retained in L2, or invalidated by coherence).
+// specRead reports whether the line carried the ASF speculative-read mark —
+// the hybrid ASF variants abort on losing such a line.
+type EvictFn func(core int, line mem.Addr, specRead bool)
+
+// Stats counts accesses per core.
+type Stats struct {
+	Loads, Stores  uint64
+	L1Hits, L2Hits uint64
+	L3Hits, C2C    uint64
+	MemFills       uint64
+	TLB1Miss       uint64
+	TLBWalks       uint64
+	Evictions      uint64
+}
+
+// Hierarchy is the full multicore memory system.
+type Hierarchy struct {
+	cfg   Config
+	cores []*coreCaches
+	l3    *array
+	dir   map[mem.Addr]*lineState
+	stats []Stats
+
+	onEvict EvictFn
+	tick    uint64 // LRU clock
+}
+
+type lineState struct {
+	holders uint32 // bitmask of cores with a private copy
+	owner   int8   // core holding the line modified, or -1
+}
+
+type coreCaches struct {
+	l1, l2 *array
+	tlb1   *tlbArray
+	tlb2   *tlbArray
+}
+
+// New builds a hierarchy for n cores.
+func New(n int, cfg Config) *Hierarchy {
+	h := &Hierarchy{
+		cfg:   cfg,
+		l3:    newArray(cfg.L3Size, cfg.L3Assoc),
+		dir:   make(map[mem.Addr]*lineState),
+		stats: make([]Stats, n),
+	}
+	for i := 0; i < n; i++ {
+		h.cores = append(h.cores, &coreCaches{
+			l1:   newArray(cfg.L1Size, cfg.L1Assoc),
+			l2:   newArray(cfg.L2Size, cfg.L2Assoc),
+			tlb1: newTLB(cfg.TLB1Entries, cfg.TLB1Entries), // fully associative
+			tlb2: newTLB(cfg.TLB2Entries, cfg.TLB2Assoc),
+		})
+	}
+	return h
+}
+
+// SetEvictHook installs the callback invoked when a line (and its
+// speculative-read mark) is displaced from a core's private caches.
+func (h *Hierarchy) SetEvictHook(fn EvictFn) { h.onEvict = fn }
+
+// Stats returns the access counters for core c.
+func (h *Hierarchy) Stats(c int) Stats { return h.stats[c] }
+
+// NumCores returns the number of cores the hierarchy was built for.
+func (h *Hierarchy) NumCores() int { return len(h.cores) }
+
+func (h *Hierarchy) state(line mem.Addr) *lineState {
+	s, ok := h.dir[line]
+	if !ok {
+		s = &lineState{owner: -1}
+		h.dir[line] = s
+	}
+	return s
+}
+
+// Access simulates core c touching addr (write=true for stores) and returns
+// the latency. It updates residency, coherence state and LRU, firing
+// eviction callbacks as needed.
+func (h *Hierarchy) Access(c int, addr mem.Addr, write bool) AccessResult {
+	h.tick++
+	line := addr.Line()
+	cc := h.cores[c]
+	if write {
+		h.stats[c].Stores++
+	} else {
+		h.stats[c].Loads++
+	}
+
+	var res AccessResult
+
+	// TLB (loads only, unless configured otherwise).
+	if !write || h.cfg.StoresUseTLB {
+		res.Cycles += h.tlbLookup(c, addr.Page())
+		if res.Cycles >= h.cfg.WalkLat {
+			res.TLBMiss = true
+		}
+	}
+
+	ls := h.state(line)
+	mask := uint32(1) << uint(c)
+
+	if e := cc.l1.lookup(line); e != nil {
+		e.lastUse = h.tick
+		res.Level = L1
+		res.Cycles += h.cfg.L1Lat
+		h.stats[c].L1Hits++
+		if write {
+			res.Cycles += h.upgrade(c, line, ls)
+			e.dirty = true
+		}
+		return res
+	}
+
+	// L1 miss: find the line further out, then fill into L1.
+	switch {
+	case cc.l2.lookup(line) != nil:
+		res.Level = L2
+		res.Cycles += h.cfg.L2Lat
+		h.stats[c].L2Hits++
+	case ls.owner >= 0 && int(ls.owner) != c:
+		// Dirty in another core's private cache: cache-to-cache transfer.
+		res.Level = Remote
+		res.Cycles += h.cfg.C2CLat
+		h.stats[c].C2C++
+		h.downgrade(int(ls.owner), line, write)
+	case h.l3.lookup(line) != nil:
+		res.Level = L3
+		res.Cycles += h.cfg.L3Lat
+		h.stats[c].L3Hits++
+	default:
+		res.Level = RAM
+		res.Cycles += h.cfg.MemLat
+		h.stats[c].MemFills++
+		h.fill(h.l3, line)
+	}
+
+	if write {
+		res.Cycles += h.upgrade(c, line, ls)
+	}
+
+	// Install in the private hierarchy.
+	h.fillPrivate(c, line, write)
+	ls = h.state(line) // downgrade/invalidate may have replaced it
+	ls.holders |= mask
+	if write {
+		ls.owner = int8(c)
+	}
+	return res
+}
+
+// upgrade obtains write permission: invalidates all other private copies.
+// Returns extra latency if any probe was needed.
+func (h *Hierarchy) upgrade(c int, line mem.Addr, ls *lineState) uint64 {
+	var cost uint64
+	others := ls.holders &^ (1 << uint(c))
+	if others != 0 || (ls.owner >= 0 && int(ls.owner) != c) {
+		cost = h.cfg.L1Lat * 8 // invalidation probe round-trip
+	}
+	for o := 0; others != 0; o++ {
+		if others&1 != 0 {
+			h.invalidate(o, line)
+		}
+		others >>= 1
+	}
+	if ls.owner >= 0 && int(ls.owner) != c {
+		h.downgrade(int(ls.owner), line, true)
+	}
+	ls.holders &= 1 << uint(c)
+	ls.owner = int8(c)
+	return cost
+}
+
+// downgrade handles a remote probe hitting core o's dirty line: the data is
+// written back (to L3 in this model). If forWrite, the copy is invalidated.
+func (h *Hierarchy) downgrade(o int, line mem.Addr, forWrite bool) {
+	ls := h.state(line)
+	if int(ls.owner) == o {
+		ls.owner = -1
+	}
+	h.fill(h.l3, line)
+	if forWrite {
+		h.invalidate(o, line)
+	} else {
+		if e := h.cores[o].l1.lookup(line); e != nil {
+			e.dirty = false
+		}
+		if e := h.cores[o].l2.lookup(line); e != nil {
+			e.dirty = false
+		}
+	}
+}
+
+// invalidate removes line from core o's private caches (coherence
+// invalidation). The speculative-read mark, if set, is surfaced through the
+// eviction hook exactly like a displacement: losing the line means losing
+// ASF's ability to monitor it.
+func (h *Hierarchy) invalidate(o int, line mem.Addr) {
+	spec := false
+	if e := h.cores[o].l1.lookup(line); e != nil {
+		spec = spec || e.specRead
+		h.cores[o].l1.remove(line)
+	}
+	h.cores[o].l2.remove(line)
+	ls := h.state(line)
+	ls.holders &^= 1 << uint(o)
+	if int(ls.owner) == o {
+		ls.owner = -1
+	}
+	h.stats[o].Evictions++
+	if h.onEvict != nil {
+		h.onEvict(o, line, spec)
+	}
+}
+
+// fillPrivate installs line into core c's L1 (and L2), handling victims.
+func (h *Hierarchy) fillPrivate(c int, line mem.Addr, dirty bool) {
+	cc := h.cores[c]
+	if v, ok := cc.l1.insert(line, h.tick); ok {
+		// L1 victim drops to L2.
+		if v.dirty {
+			if e2 := cc.l2.lookup(v.line); e2 != nil {
+				e2.dirty = true
+			}
+		}
+		if cc.l2.lookup(v.line) == nil {
+			if v2, ok2 := cc.l2.insert(v.line, h.tick); ok2 {
+				h.dropFromPrivate(c, v2)
+			}
+			// Move entry metadata: the victim left L1 but stays private.
+			if e2 := cc.l2.lookup(v.line); e2 != nil {
+				e2.dirty = v.dirty
+				e2.specRead = v.specRead
+				v.specRead = false
+			}
+		}
+		if v.specRead {
+			// The mark could not be preserved (line already in L2):
+			// treat as lost, like PTLsim-ASF's displacement behaviour.
+			h.stats[c].Evictions++
+			if h.onEvict != nil {
+				h.onEvict(c, v.line, true)
+			}
+			h.state(v.line).holders &^= 1 << uint(c)
+		}
+	}
+	if e := cc.l1.lookup(line); e != nil && dirty {
+		e.dirty = true
+	}
+	if cc.l2.lookup(line) == nil {
+		if v2, ok2 := cc.l2.insert(line, h.tick); ok2 {
+			h.dropFromPrivate(c, v2)
+		}
+	}
+}
+
+// dropFromPrivate handles a line leaving the private hierarchy entirely
+// (L2 victim): write back to L3 and report the eviction.
+func (h *Hierarchy) dropFromPrivate(c int, v entry) {
+	if h.cores[c].l1.lookup(v.line) != nil {
+		// Still in L1 (non-inclusive); the private copy survives.
+		return
+	}
+	h.fill(h.l3, v.line)
+	ls := h.state(v.line)
+	ls.holders &^= 1 << uint(c)
+	if int(ls.owner) == c {
+		ls.owner = -1
+	}
+	h.stats[c].Evictions++
+	if h.onEvict != nil {
+		h.onEvict(c, v.line, v.specRead)
+	}
+}
+
+func (h *Hierarchy) fill(a *array, line mem.Addr) {
+	if a.lookup(line) == nil {
+		a.insert(line, h.tick)
+	}
+}
+
+// SetSpecRead marks (or clears) the ASF speculative-read bit on core c's L1
+// copy of line. Returns false if the line is not L1-resident (the caller
+// must have just accessed it, so this indicates an associativity conflict
+// evicted it immediately — treated by ASF as a capacity condition).
+func (h *Hierarchy) SetSpecRead(c int, line mem.Addr, on bool) bool {
+	if e := h.cores[c].l1.lookup(line.Line()); e != nil {
+		e.specRead = on
+		return true
+	}
+	return false
+}
+
+// FlashClearSpecRead clears every speculative-read bit in core c's L1, the
+// single-cycle flash-clear a commit or abort performs.
+func (h *Hierarchy) FlashClearSpecRead(c int) {
+	h.cores[c].l1.forEach(func(e *entry) { e.specRead = false })
+}
+
+// L1Resident reports whether line is in core c's L1.
+func (h *Hierarchy) L1Resident(c int, line mem.Addr) bool {
+	return h.cores[c].l1.lookup(line.Line()) != nil
+}
+
+// Drop silently removes line from core c's private caches without firing
+// the eviction hook. The ASF abort path uses it to discard speculatively
+// written lines whose data is being rolled back.
+func (h *Hierarchy) Drop(c int, line mem.Addr) {
+	line = line.Line()
+	h.cores[c].l1.remove(line)
+	h.cores[c].l2.remove(line)
+	ls := h.state(line)
+	ls.holders &^= 1 << uint(c)
+	if int(ls.owner) == c {
+		ls.owner = -1
+	}
+}
+
+func (h *Hierarchy) tlbLookup(c int, page mem.Addr) uint64 {
+	cc := h.cores[c]
+	if cc.tlb1.lookup(page, h.tick) {
+		return 0
+	}
+	h.stats[c].TLB1Miss++
+	if cc.tlb2.lookup(page, h.tick) {
+		cc.tlb1.insert(page, h.tick)
+		return h.cfg.TLB2Lat
+	}
+	h.stats[c].TLBWalks++
+	cc.tlb2.insert(page, h.tick)
+	cc.tlb1.insert(page, h.tick)
+	return h.cfg.WalkLat
+}
+
+// FlushPrivate writes back and drops every line in core c's private
+// caches, leaving the data in L3. Models the cache state at PTLsim's
+// native-to-simulated switchover: the measured phase starts with cold
+// private caches regardless of which core ran initialisation.
+func (h *Hierarchy) FlushPrivate(c int) {
+	cc := h.cores[c]
+	var lines []mem.Addr
+	cc.l1.forEach(func(e *entry) { lines = append(lines, e.line) })
+	cc.l2.forEach(func(e *entry) { lines = append(lines, e.line) })
+	for _, line := range lines {
+		h.fill(h.l3, line)
+		cc.l1.remove(line)
+		cc.l2.remove(line)
+		ls := h.state(line)
+		ls.holders &^= 1 << uint(c)
+		if int(ls.owner) == c {
+			ls.owner = -1
+		}
+	}
+}
+
+// FlushTLB drops all of core c's TLB entries (context switch / interrupt).
+func (h *Hierarchy) FlushTLB(c int) {
+	h.cores[c].tlb1.flush()
+	h.cores[c].tlb2.flush()
+}

@@ -1,0 +1,251 @@
+package dtmc_test
+
+import (
+	"testing"
+
+	"asfstack"
+	"asfstack/internal/dtmc"
+	"asfstack/internal/sim"
+)
+
+// counterProgram is the paper's Fig. 2 example: an increment function with
+// a transaction statement around a shared counter update.
+//
+//	void increment(cntr) { __tm_atomic { *cntr = *cntr + 5; } }
+func counterProgram(t *testing.T) *dtmc.Program {
+	t.Helper()
+	b := dtmc.NewFunc("increment")
+	b.Emit(dtmc.Instr{Op: dtmc.OpAtomicBegin})
+	b.Emit(dtmc.Instr{Op: dtmc.OpLoad, A: 1, B: 0})      // r1 = *cntr
+	b.Emit(dtmc.Instr{Op: dtmc.OpConst, A: 2, Imm: 5})   // r2 = 5
+	b.Emit(dtmc.Instr{Op: dtmc.OpAdd, A: 1, B: 1, C: 2}) // r1 += 5
+	b.Emit(dtmc.Instr{Op: dtmc.OpStore, A: 1, B: 0})     // *cntr = r1
+	b.Emit(dtmc.Instr{Op: dtmc.OpAtomicEnd})
+	b.Emit(dtmc.Instr{Op: dtmc.OpRet})
+	p := dtmc.NewProgram()
+	p.Add(b.Done())
+	return p
+}
+
+func TestInstrumentRewritesAtomicAccesses(t *testing.T) {
+	p, err := dtmc.Instrument(counterProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := p.Funcs["increment"]
+	var tmLoads, tmStores, raw int
+	for _, ins := range fn.Code {
+		switch ins.Op {
+		case dtmc.OpTMLoad:
+			tmLoads++
+		case dtmc.OpTMStore:
+			tmStores++
+		case dtmc.OpLoad, dtmc.OpStore:
+			raw++
+		}
+	}
+	if tmLoads != 1 || tmStores != 1 || raw != 0 {
+		t.Fatalf("instrumentation: tmloads=%d tmstores=%d raw=%d", tmLoads, tmStores, raw)
+	}
+}
+
+func TestCounterAllRuntimes(t *testing.T) {
+	const threads, incs = 4, 150
+	prog, err := dtmc.Instrument(counterProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range []string{"LLB-256", "LLB-8", "STM"} {
+		t.Run(rt, func(t *testing.T) {
+			s := asfstack.New(asfstack.Options{Cores: threads, Runtime: rt})
+			cntr := s.AllocShared(8)
+			s.Parallel(threads, func(c *sim.CPU) {
+				for i := 0; i < incs; i++ {
+					if _, err := dtmc.Exec(s, c, prog, "increment", uint64(cntr)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			})
+			if got := s.M.Mem.Load(cntr); got != 5*threads*incs {
+				t.Fatalf("counter = %d, want %d", got, 5*threads*incs)
+			}
+		})
+	}
+}
+
+// cloneProgram: main calls helper inside an atomic block; helper loads and
+// stores shared memory. The pass must generate helper$tx and redirect the
+// call.
+func cloneProgram() *dtmc.Program {
+	p := dtmc.NewProgram()
+
+	h := dtmc.NewFunc("helper") // arg: addr; adds 1 to *addr
+	h.Emit(dtmc.Instr{Op: dtmc.OpLoad, A: 1, B: 0})
+	h.Emit(dtmc.Instr{Op: dtmc.OpConst, A: 2, Imm: 1})
+	h.Emit(dtmc.Instr{Op: dtmc.OpAdd, A: 1, B: 1, C: 2})
+	h.Emit(dtmc.Instr{Op: dtmc.OpStore, A: 1, B: 0})
+	h.Emit(dtmc.Instr{Op: dtmc.OpRet})
+	p.Add(h.Done())
+
+	m := dtmc.NewFunc("main") // arg: addr
+	m.Emit(dtmc.Instr{Op: dtmc.OpAtomicBegin})
+	m.Emit(dtmc.Instr{Op: dtmc.OpCall, A: 1, B: 0, Name: "helper"})
+	m.Emit(dtmc.Instr{Op: dtmc.OpCall, A: 1, B: 0, Name: "helper"})
+	m.Emit(dtmc.Instr{Op: dtmc.OpAtomicEnd})
+	m.Emit(dtmc.Instr{Op: dtmc.OpRet})
+	p.Add(m.Done())
+	return p
+}
+
+func TestTransactionalClones(t *testing.T) {
+	p, err := dtmc.Instrument(cloneProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, ok := p.Funcs["helper"+dtmc.TxSuffix]
+	if !ok {
+		t.Fatal("no transactional clone generated for helper")
+	}
+	for _, ins := range clone.Code {
+		if ins.Op == dtmc.OpLoad || ins.Op == dtmc.OpStore {
+			t.Fatal("clone contains uninstrumented shared access")
+		}
+	}
+	// Original must be untouched (callable outside transactions).
+	orig := p.Funcs["helper"]
+	rawOps := 0
+	for _, ins := range orig.Code {
+		if ins.Op == dtmc.OpLoad || ins.Op == dtmc.OpStore {
+			rawOps++
+		}
+	}
+	if rawOps != 2 {
+		t.Fatalf("original helper rewritten (raw ops = %d, want 2)", rawOps)
+	}
+
+	s := asfstack.New(asfstack.Options{Cores: 2, Runtime: "LLB-256"})
+	a := s.AllocShared(8)
+	s.Parallel(2, func(c *sim.CPU) {
+		for i := 0; i < 50; i++ {
+			if _, err := dtmc.Exec(s, c, p, "main", uint64(a)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if got := s.M.Mem.Load(a); got != 200 {
+		t.Fatalf("value = %d, want 200", got)
+	}
+}
+
+// loopProgram has a backward jump inside an atomic block plus an OpExtern,
+// exercising the pass's jump-target remapping and serialize insertion.
+func loopProgram(iters uint64) *dtmc.Program {
+	b := dtmc.NewFunc("loop") // arg r0: addr; loops `iters` times adding 1
+	b.Emit(dtmc.Instr{Op: dtmc.OpConst, A: 3, Imm: iters})
+	b.Emit(dtmc.Instr{Op: dtmc.OpConst, A: 4, Imm: 1})
+	b.Emit(dtmc.Instr{Op: dtmc.OpAtomicBegin})
+	b.Emit(dtmc.Instr{Op: dtmc.OpExtern, Imm: 20}) // forces serialize
+	top := b.Here()
+	b.Emit(dtmc.Instr{Op: dtmc.OpLoad, A: 1, B: 0})
+	b.Emit(dtmc.Instr{Op: dtmc.OpAdd, A: 1, B: 1, C: 4})
+	b.Emit(dtmc.Instr{Op: dtmc.OpStore, A: 1, B: 0})
+	b.Emit(dtmc.Instr{Op: dtmc.OpSub, A: 3, B: 3, C: 4})
+	b.Emit(dtmc.Instr{Op: dtmc.OpJnz, A: 3, Imm: uint64(top)})
+	b.Emit(dtmc.Instr{Op: dtmc.OpAtomicEnd})
+	b.Emit(dtmc.Instr{Op: dtmc.OpRet})
+	p := dtmc.NewProgram()
+	p.Add(b.Done())
+	return p
+}
+
+func TestSerializeAndJumpRemap(t *testing.T) {
+	p, err := dtmc.Instrument(loopProgram(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range []string{"LLB-256", "STM"} {
+		t.Run(rt, func(t *testing.T) {
+			s := asfstack.New(asfstack.Options{Cores: 2, Runtime: rt})
+			a := s.AllocShared(8)
+			s.Parallel(2, func(c *sim.CPU) {
+				for i := 0; i < 20; i++ {
+					if _, err := dtmc.Exec(s, c, p, "loop", uint64(a)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			})
+			if got := s.M.Mem.Load(a); got != 2*20*10 {
+				t.Fatalf("value = %d, want %d", got, 2*20*10)
+			}
+			// The extern must have forced serial-irrevocable execution.
+			if st := s.TotalStats(); st.Serial != st.Commits {
+				t.Fatalf("serial=%d commits=%d: serialize not honoured", st.Serial, st.Commits)
+			}
+		})
+	}
+}
+
+func TestAtomicRestartRestoresRegisters(t *testing.T) {
+	// Two threads increment via a register-carried intermediate; any
+	// failure to re-run the block body from the checkpoint would lose or
+	// double-apply updates.
+	b := dtmc.NewFunc("rmw")
+	b.Emit(dtmc.Instr{Op: dtmc.OpConst, A: 2, Imm: 1})
+	b.Emit(dtmc.Instr{Op: dtmc.OpLocalStore, A: 2, Imm: 0}) // slot0 = 1
+	b.Emit(dtmc.Instr{Op: dtmc.OpAtomicBegin})
+	b.Emit(dtmc.Instr{Op: dtmc.OpLoad, A: 1, B: 0})
+	b.Emit(dtmc.Instr{Op: dtmc.OpLocalLoad, A: 3, Imm: 0}) // stack access: uninstrumented
+	b.Emit(dtmc.Instr{Op: dtmc.OpAdd, A: 1, B: 1, C: 3})
+	b.Emit(dtmc.Instr{Op: dtmc.OpStore, A: 1, B: 0})
+	b.Emit(dtmc.Instr{Op: dtmc.OpAtomicEnd})
+	b.Emit(dtmc.Instr{Op: dtmc.OpMov, A: 0, B: 1})
+	b.Emit(dtmc.Instr{Op: dtmc.OpRet})
+	p := dtmc.NewProgram()
+	p.Add(b.Done())
+	ip, err := dtmc.Instrument(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const threads, incs = 4, 120
+	s := asfstack.New(asfstack.Options{Cores: threads, Runtime: "LLB-256"})
+	a := s.AllocShared(8)
+	s.Parallel(threads, func(c *sim.CPU) {
+		for i := 0; i < incs; i++ {
+			if _, err := dtmc.Exec(s, c, ip, "rmw", uint64(a)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	})
+	if got := s.M.Mem.Load(a); got != threads*incs {
+		t.Fatalf("value = %d, want %d (lost/duplicated restarts)", got, threads*incs)
+	}
+}
+
+func TestInstrumentRejectsUnbalancedAtomic(t *testing.T) {
+	b := dtmc.NewFunc("bad")
+	b.Emit(dtmc.Instr{Op: dtmc.OpAtomicBegin})
+	b.Emit(dtmc.Instr{Op: dtmc.OpRet})
+	p := dtmc.NewProgram()
+	p.Add(b.Done())
+	if _, err := dtmc.Instrument(p); err == nil {
+		t.Fatal("unbalanced atomic accepted")
+	}
+}
+
+func TestInstrumentRejectsUndefinedCallee(t *testing.T) {
+	b := dtmc.NewFunc("caller")
+	b.Emit(dtmc.Instr{Op: dtmc.OpAtomicBegin})
+	b.Emit(dtmc.Instr{Op: dtmc.OpCall, Name: "ghost"})
+	b.Emit(dtmc.Instr{Op: dtmc.OpAtomicEnd})
+	b.Emit(dtmc.Instr{Op: dtmc.OpRet})
+	p := dtmc.NewProgram()
+	p.Add(b.Done())
+	if _, err := dtmc.Instrument(p); err == nil {
+		t.Fatal("undefined callee accepted")
+	}
+}

@@ -1,0 +1,170 @@
+package dtmc
+
+import (
+	"fmt"
+
+	"asfstack"
+	"asfstack/internal/mem"
+	"asfstack/internal/sim"
+	"asfstack/internal/tm"
+)
+
+// Exec runs instrumented function name on core c with arg in register 0,
+// returning register 0 at OpRet. Atomic regions execute through the
+// stack's TM runtime: each OpAtomicBegin checkpoints the registers and
+// stack slots (the software setjmp the begin function performs), and the
+// runtime's restart re-runs the block body exactly like returning from
+// _ITM_beginTransaction again.
+//
+// The program must have been through Instrument; executing a raw OpLoad
+// inside an atomic region is rejected as a compiler bug.
+func Exec(s *asfstack.Stack, c *sim.CPU, p *Program, name string, arg uint64) (uint64, error) {
+	fn, ok := p.Funcs[name]
+	if !ok {
+		return 0, fmt.Errorf("dtmc: undefined function %q", name)
+	}
+	e := &exec{s: s, c: c, p: p}
+	v, err := e.run(fn, arg, nil)
+	return v, err
+}
+
+type exec struct {
+	s *asfstack.Stack
+	c *sim.CPU
+	p *Program
+}
+
+type frame struct {
+	regs  []uint64
+	slots []uint64
+}
+
+// run interprets fn. tx is non-nil when executing inside a transaction
+// (clone context).
+func (e *exec) run(fn *Function, arg uint64, tx tm.Tx) (uint64, error) {
+	f := &frame{regs: make([]uint64, fn.NRegs), slots: make([]uint64, fn.NSlots)}
+	if fn.NRegs > 0 {
+		f.regs[0] = arg
+	}
+	return e.interp(fn, f, 0, len(fn.Code), tx)
+}
+
+// interp executes fn.Code[pc:end) and returns reg 0 at OpRet.
+func (e *exec) interp(fn *Function, f *frame, pc, end int, tx tm.Tx) (uint64, error) {
+	c := e.c
+	for pc < end {
+		ins := fn.Code[pc]
+		c.Exec(1)
+		switch ins.Op {
+		case OpConst:
+			f.regs[ins.A] = ins.Imm
+		case OpMov:
+			f.regs[ins.A] = f.regs[ins.B]
+		case OpAdd:
+			f.regs[ins.A] = f.regs[ins.B] + f.regs[ins.C]
+		case OpSub:
+			f.regs[ins.A] = f.regs[ins.B] - f.regs[ins.C]
+		case OpLoad:
+			if tx != nil {
+				return 0, fmt.Errorf("dtmc: raw load inside transaction in %s (pass bug)", fn.Name)
+			}
+			f.regs[ins.A] = c.Load(mem.Addr(f.regs[ins.B]))
+		case OpStore:
+			if tx != nil {
+				return 0, fmt.Errorf("dtmc: raw store inside transaction in %s (pass bug)", fn.Name)
+			}
+			c.Store(mem.Addr(f.regs[ins.B]), f.regs[ins.A])
+		case OpTMLoad:
+			if tx == nil {
+				return 0, fmt.Errorf("dtmc: tmload outside transaction in %s", fn.Name)
+			}
+			f.regs[ins.A] = tx.Load(mem.Addr(f.regs[ins.B]))
+		case OpTMStore:
+			if tx == nil {
+				return 0, fmt.Errorf("dtmc: tmstore outside transaction in %s", fn.Name)
+			}
+			tx.Store(mem.Addr(f.regs[ins.B]), f.regs[ins.A])
+		case OpLocalLoad:
+			f.regs[ins.A] = f.slots[ins.Imm]
+		case OpLocalStore:
+			f.slots[ins.Imm] = f.regs[ins.A]
+		case OpAtomicBegin:
+			endIdx, err := matchEnd(fn, pc)
+			if err != nil {
+				return 0, err
+			}
+			// The begin function's setjmp: checkpoint registers and
+			// the slice of the stack a restart must restore.
+			ckRegs := append([]uint64(nil), f.regs...)
+			ckSlots := append([]uint64(nil), f.slots...)
+			var ierr error
+			e.s.RT.Atomic(c, func(inner tm.Tx) {
+				copy(f.regs, ckRegs)
+				copy(f.slots, ckSlots)
+				_, ierr = e.interp(fn, f, pc+1, endIdx, inner)
+			})
+			if ierr != nil {
+				return 0, ierr
+			}
+			pc = endIdx + 1
+			continue
+		case OpAtomicEnd:
+			// Only reachable as `end` boundary of an atomic interp
+			// or a stray end (checked by the pass).
+			return 0, fmt.Errorf("dtmc: unexpected atomic end in %s", fn.Name)
+		case OpCall:
+			callee, ok := e.p.Funcs[ins.Name]
+			if !ok {
+				return 0, fmt.Errorf("dtmc: undefined function %q", ins.Name)
+			}
+			c.Exec(6) // call/return overhead
+			v, err := e.run(callee, f.regs[ins.B], tx)
+			if err != nil {
+				return 0, err
+			}
+			f.regs[ins.A] = v
+		case OpExtern:
+			c.Exec(int(ins.Imm))
+		case OpSerialize:
+			if tx == nil {
+				return 0, fmt.Errorf("dtmc: serialize outside transaction in %s", fn.Name)
+			}
+			if !tx.Irrevocable() {
+				if ir, ok := tx.(tm.Irrevocably); ok {
+					ir.BecomeIrrevocable()
+				}
+			}
+		case OpJmp:
+			pc = int(ins.Imm)
+			continue
+		case OpJnz:
+			if f.regs[ins.A] != 0 {
+				pc = int(ins.Imm)
+				continue
+			}
+		case OpRet:
+			return f.regs[0], nil
+		default:
+			return 0, fmt.Errorf("dtmc: bad opcode %v in %s", ins.Op, fn.Name)
+		}
+		pc++
+	}
+	return f.regs[0], nil
+}
+
+// matchEnd finds the OpAtomicEnd matching the OpAtomicBegin at pc.
+func matchEnd(fn *Function, pc int) (int, error) {
+	depth := 0
+	for i := pc; i < len(fn.Code); i++ {
+		switch fn.Code[i].Op {
+		case OpAtomicBegin:
+			depth++
+		case OpAtomicEnd:
+			depth--
+			if depth == 0 {
+				return i, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("dtmc: unterminated atomic in %s", fn.Name)
+}

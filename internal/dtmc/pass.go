@@ -1,0 +1,151 @@
+package dtmc
+
+import "fmt"
+
+// TxSuffix is appended to the names of transactional clones.
+const TxSuffix = "$tx"
+
+// Instrument runs the TM pass over the program: atomic regions and
+// transactional clones get their shared accesses rewritten to ABI
+// barriers. The result is a new program; the input is not modified.
+//
+// The pass is DTMC's in miniature:
+//   - collect every function reachable from inside an atomic block,
+//   - generate a "$tx" clone of each, with OpLoad/OpStore → OpTMLoad/
+//     OpTMStore and calls redirected to clones,
+//   - rewrite atomic regions in the original functions the same way,
+//   - insert OpSerialize before OpExtern inside transactions (the only
+//     safe option for functions with no transactional version, §3.3).
+func Instrument(p *Program) (*Program, error) {
+	out := NewProgram()
+
+	// Pass 1: find functions called from transactional context.
+	needClone := map[string]bool{}
+	var mark func(fn *Function, inTx bool) error
+	seen := map[string]bool{}
+	for _, fn := range p.Funcs {
+		if err := scanAtomic(p, fn, needClone, seen, &mark); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pass 2: emit rewritten originals and clones.
+	for name, fn := range p.Funcs {
+		out.Add(rewriteFunction(fn, false))
+		if needClone[name] {
+			clone := rewriteFunction(fn, true)
+			clone.Name = name + TxSuffix
+			out.Add(clone)
+		}
+	}
+	// Verify that every redirected call has a clone target.
+	for _, fn := range out.Funcs {
+		for _, ins := range fn.Code {
+			if ins.Op == OpCall {
+				if _, ok := out.Funcs[ins.Name]; !ok {
+					return nil, fmt.Errorf("dtmc: missing clone %q", ins.Name)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// scanAtomic walks fn marking the callee closure of its atomic regions.
+func scanAtomic(p *Program, fn *Function, needClone map[string]bool,
+	seen map[string]bool, _ *func(*Function, bool) error) error {
+	depth := 0
+	for _, ins := range fn.Code {
+		switch ins.Op {
+		case OpAtomicBegin:
+			depth++
+		case OpAtomicEnd:
+			depth--
+			if depth < 0 {
+				return fmt.Errorf("dtmc: unbalanced atomic in %s", fn.Name)
+			}
+		case OpCall:
+			if depth > 0 {
+				if err := markClone(p, ins.Name, needClone); err != nil {
+					return err
+				}
+			}
+		case OpTMLoad, OpTMStore, OpSerialize:
+			return fmt.Errorf("dtmc: %s in un-instrumented input %s", ins.Op, fn.Name)
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("dtmc: unbalanced atomic in %s", fn.Name)
+	}
+	return nil
+}
+
+// markClone transitively marks name and its callees as needing clones.
+func markClone(p *Program, name string, needClone map[string]bool) error {
+	if needClone[name] {
+		return nil
+	}
+	fn, ok := p.Funcs[name]
+	if !ok {
+		return fmt.Errorf("dtmc: call to undefined function %q", name)
+	}
+	needClone[name] = true
+	for _, ins := range fn.Code {
+		if ins.Op == OpCall {
+			if err := markClone(p, ins.Name, needClone); err != nil {
+				return err
+			}
+		}
+		if ins.Op == OpAtomicBegin {
+			// Nested atomic inside a cloned function flattens at
+			// run time; the body is instrumented anyway.
+			continue
+		}
+	}
+	return nil
+}
+
+// rewriteFunction clones fn, instrumenting transactional context. For
+// whole-function clones (cloneAll) every shared access is rewritten; for
+// originals only the regions between AtomicBegin/AtomicEnd are.
+// Inserted instructions shift indices, so jump targets are remapped.
+func rewriteFunction(fn *Function, cloneAll bool) *Function {
+	out := &Function{Name: fn.Name, NRegs: fn.NRegs, NSlots: fn.NSlots}
+	idxMap := make([]int, len(fn.Code)+1)
+	var jumps []int // indices into out.Code whose Imm is an old target
+	depth := 0
+	for i, ins := range fn.Code {
+		idxMap[i] = len(out.Code)
+		inTx := cloneAll || depth > 0
+		switch ins.Op {
+		case OpAtomicBegin:
+			depth++
+		case OpAtomicEnd:
+			depth--
+		case OpLoad:
+			if inTx {
+				ins.Op = OpTMLoad
+			}
+		case OpStore:
+			if inTx {
+				ins.Op = OpTMStore
+			}
+		case OpCall:
+			if inTx {
+				ins.Name += TxSuffix
+			}
+		case OpExtern:
+			if inTx {
+				out.Code = append(out.Code, Instr{Op: OpSerialize})
+			}
+		case OpJmp, OpJnz:
+			jumps = append(jumps, len(out.Code))
+		}
+		out.Code = append(out.Code, ins)
+	}
+	idxMap[len(fn.Code)] = len(out.Code)
+	for _, j := range jumps {
+		out.Code[j].Imm = uint64(idxMap[out.Code[j].Imm])
+	}
+	return out
+}

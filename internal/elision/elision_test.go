@@ -1,0 +1,138 @@
+package elision
+
+import (
+	"testing"
+
+	"asfstack/internal/asf"
+	"asfstack/internal/mem"
+	"asfstack/internal/sim"
+)
+
+func setup(t *testing.T, cores int, v asf.Variant) (*sim.Machine, *Elider, *Mutex) {
+	t.Helper()
+	m := sim.New(sim.Barcelona(cores))
+	m.Mem.Prefault(0, 1<<21)
+	sys := asf.Install(m, v)
+	return m, New(sys, cores), NewMutex(0x10000)
+}
+
+func TestElidedCounterIsAtomic(t *testing.T) {
+	const threads, incs = 4, 250
+	m, e, mu := setup(t, threads, asf.LLB256)
+	body := func(c *sim.CPU) {
+		for i := 0; i < incs; i++ {
+			e.Critical(c, mu, func(cs CS) {
+				cs.Store(0x20000, cs.Load(0x20000)+1)
+			})
+		}
+	}
+	bodies := make([]func(*sim.CPU), threads)
+	for i := range bodies {
+		bodies[i] = body
+	}
+	m.Run(bodies...)
+	if got := m.Mem.Load(0x20000); got != threads*incs {
+		t.Fatalf("counter = %d, want %d", got, threads*incs)
+	}
+}
+
+func TestDisjointSectionsRunElided(t *testing.T) {
+	// Threads touching disjoint data under ONE lock: elision should make
+	// nearly every section speculative — the whole point of elision.
+	const threads, rounds = 4, 200
+	m, e, mu := setup(t, threads, asf.LLB256)
+	body := func(c *sim.CPU) {
+		a := mem.Addr(0x30000 + c.ID()*0x1000)
+		for i := 0; i < rounds; i++ {
+			e.Critical(c, mu, func(cs CS) {
+				cs.Store(a, cs.Load(a)+1)
+			})
+		}
+	}
+	bodies := make([]func(*sim.CPU), threads)
+	for i := range bodies {
+		bodies[i] = body
+	}
+	m.Run(bodies...)
+	var st Stats
+	for i := 0; i < threads; i++ {
+		s := e.Stats(i)
+		st.Elided += s.Elided
+		st.Acquired += s.Acquired
+	}
+	if st.Elided+st.Acquired != threads*rounds {
+		t.Fatalf("sections: %d elided + %d acquired != %d", st.Elided, st.Acquired, threads*rounds)
+	}
+	if st.Acquired > uint64(threads*rounds/10) {
+		t.Fatalf("elision rate too low: %d/%d fell back", st.Acquired, threads*rounds)
+	}
+	for i := 0; i < threads; i++ {
+		if got := m.Mem.Load(mem.Addr(0x30000 + i*0x1000)); got != rounds {
+			t.Fatalf("thread %d count = %d", i, got)
+		}
+	}
+}
+
+func TestCapacityOverflowFallsBack(t *testing.T) {
+	m, e, mu := setup(t, 1, asf.LLB8)
+	m.Run(func(c *sim.CPU) {
+		e.Critical(c, mu, func(cs CS) {
+			for i := 0; i < 20; i++ {
+				a := mem.Addr(0x40000 + i*mem.LineSize)
+				cs.Store(a, cs.Load(a)+1)
+			}
+		})
+	})
+	st := e.Stats(0)
+	if st.Acquired != 1 || st.Elided != 0 {
+		t.Fatalf("stats = %+v, want one real acquisition", st)
+	}
+	for i := 0; i < 20; i++ {
+		if m.Mem.Load(mem.Addr(0x40000+i*mem.LineSize)) != 1 {
+			t.Fatal("fallback lost a store")
+		}
+	}
+}
+
+func TestRealAcquisitionAbortsEliders(t *testing.T) {
+	// A thread that cannot elide (capacity) acquires for real, which must
+	// abort concurrent elided sections; everything stays atomic.
+	const rounds = 50
+	m, e, mu := setup(t, 2, asf.LLB8)
+	m.Run(
+		func(c *sim.CPU) { // big sections: always acquire
+			for i := 0; i < rounds; i++ {
+				e.Critical(c, mu, func(cs CS) {
+					for j := 0; j < 16; j++ {
+						a := mem.Addr(0x50000 + j*mem.LineSize)
+						cs.Store(a, cs.Load(a)+1)
+					}
+				})
+			}
+		},
+		func(c *sim.CPU) { // small sections on the same data: elide
+			for i := 0; i < rounds*4; i++ {
+				e.Critical(c, mu, func(cs CS) {
+					cs.Store(0x50000, cs.Load(0x50000)+1)
+				})
+			}
+		},
+	)
+	if got := m.Mem.Load(0x50000); got != rounds+rounds*4 {
+		t.Fatalf("contended word = %d, want %d", got, rounds+rounds*4)
+	}
+	for j := 1; j < 16; j++ {
+		if got := m.Mem.Load(mem.Addr(0x50000 + j*mem.LineSize)); got != rounds {
+			t.Fatalf("line %d = %d, want %d", j, got, rounds)
+		}
+	}
+}
+
+func TestMutexMustBeLineAligned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned mutex accepted")
+		}
+	}()
+	NewMutex(0x10008)
+}

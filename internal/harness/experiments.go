@@ -1,0 +1,312 @@
+package harness
+
+import (
+	"fmt"
+
+	"asfstack/internal/asf"
+	"asfstack/internal/intset"
+	"asfstack/internal/sim"
+	"asfstack/internal/stamp"
+)
+
+// asfVariants are the four hardware configurations, in figure order.
+func asfVariants() []string {
+	names := make([]string, len(asf.Variants))
+	for i, v := range asf.Variants {
+		names[i] = v.Name
+	}
+	return names
+}
+
+var threadCounts = []int{1, 2, 4, 8}
+
+// Fig3 — simulator accuracy: single-threaded STAMP without TM, detailed
+// Barcelona model vs the native-reference calibration; reports the
+// per-benchmark deviation (the paper's 10–35% bars).
+func Fig3(scale float64, prog Progress) []*Table {
+	t := &Table{
+		Title:  "Fig. 3 — simulator accuracy (1 thread, no TM): deviation of simulated vs native-reference runtime",
+		Header: []string{"benchmark", "sim (ms)", "native-ref (ms)", "deviation (%)"},
+		Note:   "paper: 5 of 8 benchmarks within 10–15%; vacation and kmeans deviate most",
+	}
+	for _, app := range stamp.Apps {
+		s, err := stamp.Run(stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale})
+		if err != nil {
+			panic(err)
+		}
+		n, err := stamp.Run(stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale, Native: true})
+		if err != nil {
+			panic(err)
+		}
+		dev := (s.Millis - n.Millis) / n.Millis * 100
+		progf(prog, "fig3 %-14s sim=%.3fms native=%.3fms dev=%.1f%%\n", app, s.Millis, n.Millis, dev)
+		t.Add(app, s.Millis, n.Millis, dev)
+	}
+	return []*Table{t}
+}
+
+// Fig4 — STAMP scalability: execution time (ms) for every application,
+// ASF variants and STM across 1–8 threads, plus the sequential bar.
+func Fig4(scale float64, prog Progress) []*Table {
+	var tables []*Table
+	for _, app := range stamp.Apps {
+		t := &Table{
+			Title:  fmt.Sprintf("Fig. 4 — STAMP: %s (execution time, ms; lower is better)", app),
+			Header: []string{"runtime", "1", "2", "4", "8"},
+		}
+		for _, rt := range append(asfVariants(), "STM") {
+			row := []any{rt}
+			for _, th := range threadCounts {
+				r, err := stamp.Run(stamp.Config{App: app, Runtime: rt, Threads: th, Scale: scale})
+				if err != nil {
+					panic(err)
+				}
+				progf(prog, "fig4 %-14s %-14s t=%d %.3fms\n", app, rt, th, r.Millis)
+				row = append(row, r.Millis)
+			}
+			t.Add(row...)
+		}
+		seq, err := stamp.Run(stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale})
+		if err != nil {
+			panic(err)
+		}
+		t.Add("Sequential", seq.Millis, "-", "-", "-")
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// fig5Panels are the eight IntegerSet panels of Fig. 5.
+var fig5Panels = []intset.Config{
+	{Structure: "linkedlist", Range: 28, UpdatePct: 20},
+	{Structure: "linkedlist", Range: 512, UpdatePct: 20},
+	{Structure: "skiplist", Range: 1024, UpdatePct: 20},
+	{Structure: "skiplist", Range: 8192, UpdatePct: 20},
+	{Structure: "rbtree", Range: 1024, UpdatePct: 20},
+	{Structure: "rbtree", Range: 8192, UpdatePct: 20},
+	{Structure: "hashset", Range: 256, UpdatePct: 100},
+	{Structure: "hashset", Range: 128000, UpdatePct: 100},
+}
+
+// Fig5 — IntegerSet scalability: throughput (tx/µs) for the four ASF
+// variants across thread counts, eight panels.
+func Fig5(scale float64, prog Progress) []*Table {
+	ops := int(1500 * scale)
+	var tables []*Table
+	for _, panel := range fig5Panels {
+		t := &Table{
+			Title: fmt.Sprintf("Fig. 5 — Intset:%s (range=%d, %d%% upd.) throughput (tx/µs; higher is better)",
+				panel.Structure, panel.Range, panel.UpdatePct),
+			Header: []string{"variant", "1", "2", "4", "8"},
+		}
+		for _, rt := range asfVariants() {
+			row := []any{rt}
+			for _, th := range threadCounts {
+				cfg := panel
+				cfg.Runtime = rt
+				cfg.Threads = th
+				cfg.OpsPerThread = ops
+				r := intset.Run(cfg)
+				progf(prog, "fig5 %-10s r=%-6d %-14s t=%d %.2f tx/us\n",
+					panel.Structure, panel.Range, rt, th, r.Throughput())
+				row = append(row, r.Throughput())
+			}
+			t.Add(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig6 — abort breakdown: percentage of transaction attempts aborted, by
+// cause, for every STAMP application, ASF variant and thread count.
+func Fig6(scale float64, prog Progress) []*Table {
+	var tables []*Table
+	for _, app := range stamp.Apps {
+		t := &Table{
+			Title: fmt.Sprintf("Fig. 6 — abort breakdown: %s (%% of attempts)", app),
+			Header: []string{"variant", "thr", "contention", "page-fault",
+				"capacity", "malloc", "syscall", "other", "total"},
+		}
+		for _, rt := range asfVariants() {
+			for _, th := range threadCounts {
+				r, err := stamp.Run(stamp.Config{App: app, Runtime: rt, Threads: th, Scale: scale})
+				if err != nil {
+					panic(err)
+				}
+				at := float64(r.Stats.Attempts())
+				if at == 0 {
+					at = 1
+				}
+				pct := func(n uint64) float64 { return float64(n) / at * 100 }
+				cont := pct(r.Stats.Aborts[sim.AbortContention])
+				pf := pct(r.Stats.Aborts[sim.AbortPageFault])
+				cap_ := pct(r.Stats.Aborts[sim.AbortCapacity])
+				mal := pct(r.Stats.MallocAborts)
+				sys := pct(r.Stats.Aborts[sim.AbortSyscall])
+				other := pct(r.Stats.Aborts[sim.AbortInterrupt] +
+					r.Stats.Aborts[sim.AbortExplicit] +
+					r.Stats.Aborts[sim.AbortDisallowed])
+				tot := pct(r.Stats.TotalAborts() + r.Stats.MallocAborts)
+				progf(prog, "fig6 %-14s %-14s t=%d total=%.1f%%\n", app, rt, th, tot)
+				t.Add(rt, th, cont, pf, cap_, mal, sys, other, tot)
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Fig7 — ASF capacity: throughput vs transaction size (initial structure
+// size) at 8 threads, 20% updates, for the linked list and red-black tree.
+func Fig7(scale float64, prog Progress) []*Table {
+	ops := int(1200 * scale)
+	var tables []*Table
+
+	list := &Table{
+		Title:  "Fig. 7 — Intset:LinkList (8 threads, 20% update): throughput (tx/µs) vs initial size",
+		Header: []string{"variant", "6", "14", "30", "62", "126", "254", "510"},
+	}
+	listSizes := []int{6, 14, 30, 62, 126, 254, 510}
+	for _, rt := range asfVariants() {
+		row := []any{rt}
+		for _, sz := range listSizes {
+			r := intset.Run(intset.Config{
+				Structure: "linkedlist", Runtime: rt, Threads: 8,
+				Range: uint64(2 * sz), UpdatePct: 20, InitialSize: sz,
+				OpsPerThread: ops,
+			})
+			progf(prog, "fig7 list %-14s size=%-4d %.2f tx/us\n", rt, sz, r.Throughput())
+			row = append(row, r.Throughput())
+		}
+		list.Add(row...)
+	}
+	tables = append(tables, list)
+
+	tree := &Table{
+		Title:  "Fig. 7 — Intset:RBTree (8 threads, 20% update): throughput (tx/µs) vs initial size",
+		Header: []string{"variant", "8", "16", "32", "64", "128", "256", "512", "1024", "2048", "4096"},
+	}
+	treeSizes := []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+	for _, rt := range asfVariants() {
+		row := []any{rt}
+		for _, sz := range treeSizes {
+			r := intset.Run(intset.Config{
+				Structure: "rbtree", Runtime: rt, Threads: 8,
+				Range: uint64(2 * sz), UpdatePct: 20, InitialSize: sz,
+				OpsPerThread: ops,
+			})
+			progf(prog, "fig7 rbtree %-14s size=%-4d %.2f tx/us\n", rt, sz, r.Throughput())
+			row = append(row, r.Throughput())
+		}
+		tree.Add(row...)
+	}
+	tables = append(tables, tree)
+	return tables
+}
+
+// Fig8 — early release: linked-list throughput with and without early
+// release for LLB-8 and LLB-256 (8 threads, 20% updates, sizes 2^3..2^9).
+func Fig8(scale float64, prog Progress) []*Table {
+	ops := int(1200 * scale)
+	sizes := []int{8, 16, 32, 64, 128, 256, 512}
+	var tables []*Table
+	for _, llb := range []string{"LLB-8", "LLB-256"} {
+		t := &Table{
+			Title:  fmt.Sprintf("Fig. 8 — Intset:LinkList (%s, 8 threads, 20%% update): early-release impact (tx/µs)", llb),
+			Header: []string{"mode", "8", "16", "32", "64", "128", "256", "512"},
+		}
+		for _, er := range []bool{false, true} {
+			label := "Without early release"
+			if er {
+				label = "With early release"
+			}
+			row := []any{label}
+			for _, sz := range sizes {
+				r := intset.Run(intset.Config{
+					Structure: "linkedlist", Runtime: llb, Threads: 8,
+					Range: uint64(2 * sz), UpdatePct: 20, InitialSize: sz,
+					OpsPerThread: ops, EarlyRelease: er,
+				})
+				progf(prog, "fig8 %-8s er=%-5v size=%-4d %.2f tx/us\n", llb, er, sz, r.Throughput())
+				row = append(row, r.Throughput())
+			}
+			t.Add(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// table1Configs are the four single-thread overhead workloads of Table 1 /
+// Fig. 9.
+var table1Configs = []intset.Config{
+	{Structure: "linkedlist", Range: 256, InitialSize: 128, UpdatePct: 20},
+	{Structure: "skiplist", Range: 256, InitialSize: 128, UpdatePct: 20},
+	{Structure: "rbtree", Range: 256, InitialSize: 128, UpdatePct: 20},
+	{Structure: "hashset", Range: 128000, InitialSize: 64000, UpdatePct: 100, HashBits: 17},
+}
+
+// Table1 — single-thread cycle breakdown: ASF-TM (LLB-256) vs TinySTM per
+// category, with ratios (Table 1), and the normalised composition (Fig. 9).
+func Table1(scale float64, prog Progress) []*Table {
+	ops := int(4000 * scale)
+	var tables []*Table
+	norm := &Table{
+		Title:  "Fig. 9 — single-thread overhead composition (normalised to the STM total of each benchmark)",
+		Header: []string{"benchmark", "runtime", "non-instr", "tx app", "abort", "tx ld/st", "tx start/commit", "total"},
+	}
+	for _, cfg := range table1Configs {
+		t := &Table{
+			Title: fmt.Sprintf("Table 1 — cycles inside transactions: %s / %d%% / %d",
+				cfg.Structure, cfg.UpdatePct, cfg.InitialSize),
+			Header: []string{"category", "ASF", "STM", "ratio (STM/ASF)"},
+		}
+		results := map[string]intset.Result{}
+		for _, rt := range []string{"LLB-256", "STM"} {
+			c := cfg
+			c.Runtime = rt
+			c.Threads = 1
+			c.OpsPerThread = ops
+			r := intset.Run(c)
+			results[rt] = r
+			progf(prog, "table1 %-10s %-8s total=%d cycles\n", cfg.Structure, rt, r.Breakdown.Total())
+		}
+		a, s := results["LLB-256"].Breakdown, results["STM"].Breakdown
+		cats := []struct {
+			label string
+			cat   sim.Category
+		}{
+			{"Non-instr. code", sim.CatNonInstr},
+			{"Instr. app. code", sim.CatTxApp},
+			{"Abort/restart", sim.CatAbort},
+			{"Tx load/store", sim.CatTxLoadStore},
+			{"Tx start/commit", sim.CatTxStartCommit},
+		}
+		for _, cc := range cats {
+			ratio := "-"
+			if a[cc.cat] > 0 {
+				ratio = fmt.Sprintf("%.2f", float64(s[cc.cat])/float64(a[cc.cat]))
+			}
+			t.Add(cc.label, a[cc.cat], s[cc.cat], ratio)
+		}
+		tables = append(tables, t)
+
+		stmTotal := float64(s.Total())
+		for _, e := range []struct {
+			rt string
+			b  sim.Breakdown
+		}{{"ASF", a}, {"STM", s}} {
+			rt, b := e.rt, e.b
+			norm.Add(cfg.Structure, rt,
+				float64(b[sim.CatNonInstr])/stmTotal,
+				float64(b[sim.CatTxApp])/stmTotal,
+				float64(b[sim.CatAbort])/stmTotal,
+				float64(b[sim.CatTxLoadStore])/stmTotal,
+				float64(b[sim.CatTxStartCommit])/stmTotal,
+				float64(b.Total())/stmTotal)
+		}
+	}
+	tables = append(tables, norm)
+	return tables
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"io"
+	"strconv"
+	"testing"
+)
+
+// TestFig4Fig5Fig6SmokeTiny executes the three big sweeps at a very small
+// scale: every cell must be produced and be positive, and the qualitative
+// STM-vs-ASF ordering must hold on at least one representative app.
+func TestFig4Fig5Fig6SmokeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	fig4 := Fig4(0.05, io.Discard)
+	if len(fig4) != 8 {
+		t.Fatalf("fig4 tables = %d", len(fig4))
+	}
+	for _, tab := range fig4 {
+		if len(tab.Rows) != 6 { // 4 ASF + STM + Sequential
+			t.Fatalf("%s: rows = %d", tab.Title, len(tab.Rows))
+		}
+		for _, row := range tab.Rows {
+			for col := 1; col < len(row); col++ {
+				if row[col] == "-" {
+					continue
+				}
+				v, err := strconv.ParseFloat(row[col], 64)
+				if err != nil || v <= 0 {
+					t.Fatalf("%s %s: bad cell %q", tab.Title, row[0], row[col])
+				}
+			}
+		}
+	}
+	// genome is the first table; STM (row 4) slower than LLB-256 (row 1)
+	// at one thread (column 1).
+	g := fig4[0]
+	asf := cell(t, g, 1, 1)
+	stm := cell(t, g, 4, 1)
+	if stm <= asf {
+		t.Fatalf("genome: STM %.3f not slower than ASF %.3f", stm, asf)
+	}
+
+	fig5 := Fig5(0.1, io.Discard)
+	if len(fig5) != 8 {
+		t.Fatalf("fig5 tables = %d", len(fig5))
+	}
+	for _, tab := range fig5 {
+		for _, row := range tab.Rows {
+			for col := 1; col < len(row); col++ {
+				if v := cell(t, tab, 0, col); v <= 0 {
+					t.Fatalf("%s: nonpositive throughput %v", tab.Title, v)
+				}
+				_ = row
+			}
+		}
+	}
+
+	fig6 := Fig6(0.05, io.Discard)
+	if len(fig6) != 8 {
+		t.Fatalf("fig6 tables = %d", len(fig6))
+	}
+	for _, tab := range fig6 {
+		for _, row := range tab.Rows {
+			tot, err := strconv.ParseFloat(row[len(row)-1], 64)
+			if err != nil || tot < 0 || tot > 100 {
+				t.Fatalf("%s: abort total %q out of range", tab.Title, row[len(row)-1])
+			}
+		}
+	}
+}
+
+// TestRunDispatch exercises the name dispatcher for each experiment.
+func TestRunDispatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	for _, name := range []string{"fig3", "table1"} {
+		tabs, err := Run(name, 0.1, io.Discard)
+		if err != nil || len(tabs) == 0 {
+			t.Fatalf("Run(%s): %v, %d tables", name, err, len(tabs))
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package harness defines and runs the paper's evaluation experiments
+// (E1–E7 in DESIGN.md): one function per figure/table, each returning
+// plain-text tables with the same rows/series the paper plots. cmd/asfbench
+// and the repository benchmarks drive these.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one printable result table (a figure panel or a table).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Note   string
+}
+
+// Add appends a row; values are formatted with %v, floats with 2 decimals.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "note: %s\n", t.Note)
+	}
+}
+
+// Progress is where experiments report per-run progress lines (may be
+// io.Discard).
+type Progress = io.Writer
+
+func progf(w Progress, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}
+
+// Experiment names accepted by Run, in paper order.
+var Names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1"}
+
+// Run executes one named experiment at the given scale and returns its
+// tables. scale < 1 shrinks inputs for quick runs; 1.0 is the reported
+// configuration.
+func Run(name string, scale float64, prog Progress) ([]*Table, error) {
+	switch name {
+	case "fig3":
+		return Fig3(scale, prog), nil
+	case "fig4":
+		return Fig4(scale, prog), nil
+	case "fig5":
+		return Fig5(scale, prog), nil
+	case "fig6":
+		return Fig6(scale, prog), nil
+	case "fig7":
+		return Fig7(scale, prog), nil
+	case "fig8":
+		return Fig8(scale, prog), nil
+	case "table1":
+		return Table1(scale, prog), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown experiment %q (want one of %v)", name, Names)
+	}
+}

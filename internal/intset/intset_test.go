@@ -1,0 +1,100 @@
+package intset
+
+import (
+	"testing"
+)
+
+// TestRunIsDeterministic: identical configurations give identical results.
+func TestRunIsDeterministic(t *testing.T) {
+	cfg := Config{Structure: "rbtree", Runtime: "LLB-256", Threads: 4,
+		Range: 512, UpdatePct: 20, OpsPerThread: 300, Seed: 7}
+	a, b := Run(cfg), Run(cfg)
+	if a.Cycles != b.Cycles || a.Txs != b.Txs || a.Stats != b.Stats {
+		t.Fatalf("nondeterministic: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+// TestEveryOpCommits: committed transactions equal requested operations on
+// every runtime (atomic blocks never get lost or double-committed).
+func TestEveryOpCommits(t *testing.T) {
+	for _, rt := range []string{"LLB-8", "LLB-256", "LLB-8 w/ L1", "LLB-256 w/ L1", "STM"} {
+		r := Run(Config{Structure: "skiplist", Runtime: rt, Threads: 4,
+			Range: 256, UpdatePct: 20, OpsPerThread: 200})
+		if r.Txs != 4*200 {
+			t.Fatalf("%s: txs = %d, want 800", rt, r.Txs)
+		}
+	}
+}
+
+// TestLLB8SerialisesLongLists: the Fig. 5 left-panel effect — LLB-8's
+// capacity is insufficient for a 256-element list, so nearly all update
+// transactions run serially, while LLB-256 stays in hardware.
+func TestLLB8SerialisesLongLists(t *testing.T) {
+	small := Run(Config{Structure: "linkedlist", Runtime: "LLB-8", Threads: 4,
+		Range: 512, UpdatePct: 20, OpsPerThread: 250})
+	big := Run(Config{Structure: "linkedlist", Runtime: "LLB-256", Threads: 4,
+		Range: 512, UpdatePct: 20, OpsPerThread: 250})
+	if small.Stats.Serial < small.Txs/2 {
+		t.Fatalf("LLB-8 serial=%d of %d: capacity pressure missing", small.Stats.Serial, small.Txs)
+	}
+	if big.Stats.Serial > big.Txs/20 {
+		t.Fatalf("LLB-256 serial=%d of %d: unexpectedly serialised", big.Stats.Serial, big.Txs)
+	}
+	if big.Throughput() < 2*small.Throughput() {
+		t.Fatalf("LLB-256 (%.2f) not clearly faster than LLB-8 (%.2f)",
+			big.Throughput(), small.Throughput())
+	}
+}
+
+// TestEarlyReleaseRecoversLLB8: Fig. 8 — with early release the LLB-8 list
+// throughput recovers to at least several times the no-release baseline.
+func TestEarlyReleaseRecoversLLB8(t *testing.T) {
+	base := Run(Config{Structure: "linkedlist", Runtime: "LLB-8", Threads: 4,
+		Range: 256, UpdatePct: 20, OpsPerThread: 250})
+	er := Run(Config{Structure: "linkedlist", Runtime: "LLB-8", Threads: 4,
+		Range: 256, UpdatePct: 20, OpsPerThread: 250, EarlyRelease: true})
+	if er.Throughput() < 2*base.Throughput() {
+		t.Fatalf("early release %.2f vs %.2f tx/µs: no recovery",
+			er.Throughput(), base.Throughput())
+	}
+}
+
+// TestHashSetScalesOnAllVariants: the Fig. 5 hash-set panels — even LLB-8
+// handles the hash set in hardware (tiny write sets).
+func TestHashSetScalesOnAllVariants(t *testing.T) {
+	for _, rt := range []string{"LLB-8", "LLB-256", "LLB-8 w/ L1", "LLB-256 w/ L1"} {
+		r := Run(Config{Structure: "hashset", Runtime: rt, Threads: 4,
+			Range: 1024, UpdatePct: 100, OpsPerThread: 250})
+		if r.Stats.Serial > r.Txs/50 {
+			t.Fatalf("%s: %d/%d serial on the hash set", rt, r.Stats.Serial, r.Txs)
+		}
+	}
+}
+
+// TestThroughputScalesWithThreads: rbtree on LLB-256 must gain from more
+// threads (the Fig. 5 scaling shape).
+func TestThroughputScalesWithThreads(t *testing.T) {
+	t1 := Run(Config{Structure: "rbtree", Runtime: "LLB-256", Threads: 1,
+		Range: 8192, UpdatePct: 20, OpsPerThread: 400})
+	t4 := Run(Config{Structure: "rbtree", Runtime: "LLB-256", Threads: 4,
+		Range: 8192, UpdatePct: 20, OpsPerThread: 400})
+	if t4.Throughput() < 1.8*t1.Throughput() {
+		t.Fatalf("4 threads %.2f vs 1 thread %.2f tx/µs: no scaling",
+			t4.Throughput(), t1.Throughput())
+	}
+}
+
+// TestBreakdownAccountsAllCycles: the per-category breakdown must sum to
+// (roughly) threads × duration — nothing unattributed.
+func TestBreakdownAccountsAllCycles(t *testing.T) {
+	r := Run(Config{Structure: "rbtree", Runtime: "LLB-256", Threads: 2,
+		Range: 512, UpdatePct: 20, OpsPerThread: 300})
+	total := r.Breakdown.Total()
+	upper := uint64(2) * r.Cycles
+	if total == 0 || total > upper {
+		t.Fatalf("breakdown total %d vs %d thread-cycles", total, upper)
+	}
+	if total < upper*8/10 {
+		t.Fatalf("breakdown total %d misses >20%% of %d thread-cycles", total, upper)
+	}
+}

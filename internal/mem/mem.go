@@ -1,0 +1,149 @@
+// Package mem implements the simulated physical memory that every other
+// component of the ASF stack operates on.
+//
+// The memory is a sparse, word-addressable physical address space organised
+// in 4 KiB pages and 64-byte cache lines — the units the rest of the stack
+// cares about: ASF protects memory at cache-line granularity and the OS model
+// pages memory in at page granularity (demand paging; the first touch of a
+// page raises a page fault, which aborts ASF speculative regions).
+//
+// All workload data structures live in this address space, not in Go objects,
+// so that address layout (padding, colocation, associativity conflicts) has
+// the same first-order effects it has on real hardware.
+package mem
+
+import "fmt"
+
+// Word is the unit of data access: a 64-bit little-endian machine word.
+type Word = uint64
+
+// Addr is a simulated physical byte address.
+type Addr uint64
+
+// Fundamental geometry of the simulated machine. These mirror the AMD
+// family 10h ("Barcelona") configuration used in the paper.
+const (
+	WordSize  = 8 // bytes per word
+	WordShift = 3
+
+	LineSize     = 64 // bytes per cache line (ASF's unit of protection)
+	LineShift    = 6
+	WordsPerLine = LineSize / WordSize
+
+	PageSize     = 4096 // bytes per page (demand-paging granularity)
+	PageShift    = 12
+	WordsPerPage = PageSize / WordSize
+)
+
+// Line returns the cache-line address (aligned down) containing a.
+func (a Addr) Line() Addr { return a &^ (LineSize - 1) }
+
+// Page returns the page address (aligned down) containing a.
+func (a Addr) Page() Addr { return a &^ (PageSize - 1) }
+
+// WordAligned reports whether a is 8-byte aligned.
+func (a Addr) WordAligned() bool { return a&(WordSize-1) == 0 }
+
+// LineIndex returns the index of the word within its cache line.
+func (a Addr) LineIndex() int { return int(a>>WordShift) & (WordsPerLine - 1) }
+
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+type page struct {
+	words   [WordsPerPage]Word
+	present bool // installed by the (simulated) OS on first fault
+}
+
+// Memory is the simulated physical memory. It is not safe for concurrent
+// use; the simulation engine serialises all accesses.
+type Memory struct {
+	pages map[Addr]*page
+
+	// faultedPages counts demand-paging faults taken so far.
+	faultedPages uint64
+}
+
+// New returns an empty memory. Every page starts non-present; the first
+// access must be preceded by EnsurePresent (the simulator's OS model does
+// this and charges the page-fault cost).
+func New() *Memory {
+	return &Memory{pages: make(map[Addr]*page)}
+}
+
+func (m *Memory) pageFor(a Addr) *page {
+	p, ok := m.pages[a.Page()]
+	if !ok {
+		p = &page{}
+		m.pages[a.Page()] = p
+	}
+	return p
+}
+
+// Present reports whether the page containing a has been installed.
+func (m *Memory) Present(a Addr) bool {
+	p, ok := m.pages[a.Page()]
+	return ok && p.present
+}
+
+// EnsurePresent installs the page containing a, returning true if this
+// access faulted (i.e., the page was not yet present). The caller is
+// responsible for charging page-fault latency and aborting speculative
+// regions, mirroring the behaviour of a first-touch minor fault.
+func (m *Memory) EnsurePresent(a Addr) (faulted bool) {
+	p := m.pageFor(a)
+	if p.present {
+		return false
+	}
+	p.present = true
+	m.faultedPages++
+	return true
+}
+
+// Prefault installs every page in [a, a+size) without counting faults.
+// Used to model memory that was touched during (unsimulated) initialisation.
+func (m *Memory) Prefault(a Addr, size uint64) {
+	for pa := a.Page(); pa < a+Addr(size); pa += PageSize {
+		m.pageFor(pa).present = true
+	}
+}
+
+// FaultCount returns the number of demand-paging faults taken so far.
+func (m *Memory) FaultCount() uint64 { return m.faultedPages }
+
+// Load reads the word at a. a must be word-aligned.
+func (m *Memory) Load(a Addr) Word {
+	mustAligned(a)
+	return m.pageFor(a).words[wordIndex(a)]
+}
+
+// Store writes the word at a. a must be word-aligned.
+func (m *Memory) Store(a Addr, v Word) {
+	mustAligned(a)
+	m.pageFor(a).words[wordIndex(a)] = v
+}
+
+// LoadLine copies the 8 words of the cache line containing a into buf.
+func (m *Memory) LoadLine(a Addr, buf *[WordsPerLine]Word) {
+	la := a.Line()
+	p := m.pageFor(la)
+	base := wordIndex(la)
+	copy(buf[:], p.words[base:base+WordsPerLine])
+}
+
+// StoreLine writes the 8 words of buf to the cache line containing a.
+func (m *Memory) StoreLine(a Addr, buf *[WordsPerLine]Word) {
+	la := a.Line()
+	p := m.pageFor(la)
+	base := wordIndex(la)
+	copy(p.words[base:base+WordsPerLine], buf[:])
+}
+
+func wordIndex(a Addr) int {
+	return int(a&(PageSize-1)) >> WordShift
+}
+
+func mustAligned(a Addr) {
+	if !a.WordAligned() {
+		panic(fmt.Sprintf("mem: unaligned word access at %v", a))
+	}
+}

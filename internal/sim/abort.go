@@ -1,0 +1,88 @@
+package sim
+
+import "fmt"
+
+// AbortReason identifies why a speculative region was rolled back. The set
+// mirrors the ASF status codes plus the OS-event causes the paper's abort
+// breakdown (Fig. 6) distinguishes.
+type AbortReason uint8
+
+const (
+	AbortNone AbortReason = iota
+
+	// AbortContention: another thread accessed a protected line
+	// incompatibly; ASF's requester-wins policy aborted this region.
+	AbortContention
+
+	// AbortCapacity: the implementation ran out of speculative-tracking
+	// resources (LLB entries, or a speculatively marked L1 line was
+	// displaced by an associativity conflict or a coherence probe).
+	AbortCapacity
+
+	// AbortPageFault: a memory access inside the region faulted; all
+	// exceptions abort speculative regions.
+	AbortPageFault
+
+	// AbortInterrupt: a timer interrupt (or any privilege-level switch)
+	// arrived during the region.
+	AbortInterrupt
+
+	// AbortSyscall: the region executed a system call.
+	AbortSyscall
+
+	// AbortExplicit: software executed the ABORT instruction. The Code
+	// field of AbortError carries the software-supplied value (the TM
+	// runtime uses it to flag, e.g., allocator refills — the paper's
+	// "Abort (malloc)" category).
+	AbortExplicit
+
+	// AbortDisallowed: the region executed an instruction ASF forbids in
+	// speculative code.
+	AbortDisallowed
+
+	// AbortNesting: the 256-level dynamic nesting limit was exceeded.
+	AbortNesting
+
+	numAbortReasons
+)
+
+// NumAbortReasons is the number of distinct reasons (for breakdown arrays).
+const NumAbortReasons = int(numAbortReasons)
+
+func (r AbortReason) String() string {
+	switch r {
+	case AbortNone:
+		return "none"
+	case AbortContention:
+		return "contention"
+	case AbortCapacity:
+		return "capacity"
+	case AbortPageFault:
+		return "page-fault"
+	case AbortInterrupt:
+		return "interrupt"
+	case AbortSyscall:
+		return "syscall"
+	case AbortExplicit:
+		return "explicit"
+	case AbortDisallowed:
+		return "disallowed"
+	case AbortNesting:
+		return "nesting"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// AbortError is the sentinel carried by the panic that unwinds a speculative
+// region back to its SPECULATE point. Only package asf recovers it; any
+// other escape is a stack bug.
+type AbortError struct {
+	Core   int
+	Reason AbortReason
+	Code   uint64 // software code for AbortExplicit
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("asf abort on core %d: %s", e.Core, e.Reason)
+}

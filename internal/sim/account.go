@@ -1,0 +1,131 @@
+package sim
+
+// Category classifies where cycles are spent, reproducing the paper's
+// single-thread overhead breakdown (Fig. 9 / Table 1). The paper obtained
+// these by annotating the final binaries line-by-line and post-processing a
+// timed trace; here the runtime layers declare the category before charging
+// cycles, which is the same attribution without the offline pass.
+type Category uint8
+
+const (
+	// CatNonInstr: code outside transactions, uninstrumented.
+	CatNonInstr Category = iota
+	// CatTxApp: instrumented application code inside transactions
+	// (compute between barriers, stack accesses).
+	CatTxApp
+	// CatTxLoadStore: TM read/write barriers (ASF LOCK MOVs, or the STM's
+	// lock-table and logging work).
+	CatTxLoadStore
+	// CatTxStartCommit: beginning and committing transactions (ABI entry,
+	// register checkpointing, SPECULATE/COMMIT, STM clock work).
+	CatTxStartCommit
+	// CatAbort: cycles wasted in aborted attempts plus restart overhead.
+	// Attempt cycles are re-attributed here when the attempt aborts.
+	CatAbort
+
+	numCategories
+)
+
+// NumCategories is the number of accounting categories.
+const NumCategories = int(numCategories)
+
+func (k Category) String() string {
+	switch k {
+	case CatNonInstr:
+		return "non-instr"
+	case CatTxApp:
+		return "tx-app"
+	case CatTxLoadStore:
+		return "tx-load/store"
+	case CatTxStartCommit:
+		return "tx-start/commit"
+	case CatAbort:
+		return "abort/restart"
+	default:
+		return "category(?)"
+	}
+}
+
+// Breakdown is a per-category cycle count.
+type Breakdown [NumCategories]uint64
+
+// Total sums all categories.
+func (b Breakdown) Total() uint64 {
+	var t uint64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Sub returns b - o, element-wise (o must be an earlier snapshot).
+func (b Breakdown) Sub(o Breakdown) Breakdown {
+	var d Breakdown
+	for i := range b {
+		d[i] = b[i] - o[i]
+	}
+	return d
+}
+
+// Add returns b + o, element-wise.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	var s Breakdown
+	for i := range b {
+		s[i] = b[i] + o[i]
+	}
+	return s
+}
+
+// Category returns the core's current accounting category.
+func (c *CPU) Category() Category { return c.cat }
+
+// SetCategory switches the accounting category, returning the previous one.
+// Pending batched compute is attributed to the *old* category first.
+func (c *CPU) SetCategory(k Category) Category {
+	old := c.cat
+	if c.pending > 0 {
+		c.now += c.pending
+		c.counters[old] += c.pending
+		c.pending = 0
+	}
+	c.cat = k
+	if c.tracing && k != old {
+		c.Trace(TraceCategory, uint64(k))
+	}
+	return old
+}
+
+// Counters returns a snapshot of the per-category cycle counters,
+// including batched compute (attributed to the current category).
+func (c *CPU) Counters() Breakdown {
+	b := c.counters
+	b[c.cat] += c.pending
+	return b
+}
+
+// MoveToAbort re-attributes every cycle charged since the snapshot to
+// CatAbort. The TM runtime calls this when an attempt aborts, so wasted
+// work lands in the paper's "Abort/restart" bucket.
+func (c *CPU) MoveToAbort(since Breakdown) {
+	// Fold batched compute in first so the delta below is exact.
+	if c.pending > 0 {
+		c.now += c.pending
+		c.counters[c.cat] += c.pending
+		c.pending = 0
+	}
+	for i := range c.counters {
+		if Category(i) == CatAbort {
+			continue
+		}
+		d := c.counters[i] - since[i]
+		c.counters[i] -= d
+		c.counters[CatAbort] += d
+	}
+}
+
+// ResetCounters zeroes the per-category counters (start of measured phase).
+func (c *CPU) ResetCounters() {
+	c.counters = Breakdown{}
+	c.pending = 0
+	c.instLeft = 0
+}

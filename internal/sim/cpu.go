@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"math/rand"
+
+	"asfstack/internal/mem"
+)
+
+// SpecUnit is the per-core speculative-execution facility the simulator
+// interacts with. Package asf provides the implementation; the simulator
+// only needs to know whether a region is active (OS events must abort it)
+// and how to abort it asynchronously.
+type SpecUnit interface {
+	// Active reports whether a speculative region is in flight.
+	Active() bool
+	// AsyncAbort rolls the region back immediately (restoring memory) and
+	// arranges for the core to observe the abort at its next operation.
+	// Called either by other cores (conflict, requester-wins) or by the
+	// core's own OS events.
+	AsyncAbort(reason AbortReason)
+}
+
+// CPU is one simulated core: the handle workload and runtime code issue
+// operations through. All operations charge simulated cycles; memory
+// operations additionally rendezvous with the engine so cross-core effects
+// are globally ordered.
+type CPU struct {
+	id int
+	m  *Machine
+
+	// Scheduling.
+	turn    chan struct{}
+	holding bool
+	running bool
+	everRan bool
+
+	// Time.
+	now       uint64
+	pending   uint64 // batched compute cycles not yet folded into now
+	instLeft  int    // sub-issue-width instruction remainder
+	nextTimer uint64
+
+	// Speculation.
+	spec         SpecUnit
+	pendingAbort AbortReason
+
+	// Accounting.
+	cat      Category
+	counters [NumCategories]uint64
+
+	// Tracing (see trace.go).
+	tracing bool
+	trace   []TraceEvent
+
+	rng *rand.Rand
+}
+
+func newCPU(m *Machine, id int) *CPU {
+	c := &CPU{
+		id:   id,
+		m:    m,
+		turn: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(m.cfg.Seed*7919 + int64(id)*104729 + 1)),
+	}
+	if m.cfg.TimerInterval > 0 {
+		c.nextTimer = m.cfg.TimerInterval
+	}
+	return c
+}
+
+// ID returns the core number.
+func (c *CPU) ID() int { return c.id }
+
+// Machine returns the machine this core belongs to.
+func (c *CPU) Machine() *Machine { return c.m }
+
+// Now returns the core's local cycle clock (including batched compute).
+func (c *CPU) Now() uint64 { return c.now + c.pending }
+
+// Rand returns the core's deterministic PRNG.
+func (c *CPU) Rand() *rand.Rand { return c.rng }
+
+// SetSpecUnit installs the core's speculative unit (done once at setup).
+func (c *CPU) SetSpecUnit(u SpecUnit) { c.spec = u }
+
+// SpecUnit returns the installed speculative unit, or nil.
+func (c *CPU) SpecUnit() SpecUnit { return c.spec }
+
+// --- engine rendezvous -------------------------------------------------
+
+// acquire obtains the global turn. On return the core may touch all shared
+// simulator state until it finishes the current operation.
+func (c *CPU) acquire() {
+	c.everRan = true
+	if c.holding {
+		return
+	}
+	if c.m.solo == c.id {
+		c.holding = true
+		return
+	}
+	c.m.events <- event{core: c.id}
+	<-c.turn
+	c.holding = true
+}
+
+// endOp relinquishes the turn logically; the engine learns about it at the
+// next acquire. No shared state may be touched after endOp.
+func (c *CPU) endOp() {
+	if c.m.solo != c.id {
+		c.holding = false
+	}
+}
+
+// flushCycles folds batched compute into the clock.
+func (c *CPU) flushCycles() {
+	c.charge(c.pending)
+	c.pending = 0
+}
+
+// charge advances the clock and attributes the cycles to the current
+// accounting category.
+func (c *CPU) charge(cy uint64) {
+	c.now += cy
+	c.counters[c.cat] += cy
+}
+
+// --- compute -----------------------------------------------------------
+
+// Exec charges n machine instructions of straight-line compute, packed at
+// the configured issue width. Purely local: no rendezvous.
+func (c *CPU) Exec(n int) {
+	c.instLeft += n
+	w := c.m.cfg.IssueWidth
+	c.pending += uint64(c.instLeft / w)
+	c.instLeft %= w
+}
+
+// Cycles charges raw stall cycles (back-off spins, fixed hardware costs).
+func (c *CPU) Cycles(n uint64) { c.pending += n }
+
+// --- OS events ----------------------------------------------------------
+
+// checkOSEvents delivers any timer interrupt that became due. Must be
+// called holding the turn. Aborts an active speculative region: all
+// privilege-level switches abort ASF regions (§2.2).
+func (c *CPU) checkOSEvents() {
+	for c.m.cfg.TimerInterval > 0 && c.now >= c.nextTimer {
+		c.nextTimer += c.m.cfg.TimerInterval
+		c.charge(c.m.cfg.InterruptCost)
+		c.m.Hier.FlushTLB(c.id)
+		if c.spec != nil && c.spec.Active() {
+			c.spec.AsyncAbort(AbortInterrupt)
+		}
+	}
+	c.deliverPendingAbort()
+}
+
+// deliverPendingAbort raises any abort posted asynchronously (conflict from
+// another core, interrupt) as a panic that unwinds to the region's retry
+// point, mirroring ASF's rollback to the instruction after SPECULATE.
+// The panic deliberately unwinds with the global turn still held: the
+// recovery handler (asf.Region) completes rollback against shared state,
+// and the turn is released at the end of the next operation.
+func (c *CPU) deliverPendingAbort() {
+	if c.pendingAbort != AbortNone {
+		r := c.pendingAbort
+		c.pendingAbort = AbortNone
+		panic(&AbortError{Core: c.id, Reason: r})
+	}
+}
+
+// AbortPending reports whether an asynchronous abort awaits delivery.
+// Hook code uses this to ignore the tail of an operation whose region was
+// rolled back mid-flight.
+func (c *CPU) AbortPending() bool { return c.pendingAbort != AbortNone }
+
+// PostAbort records an abort to be delivered at the core's next operation.
+// Called by SpecUnit implementations (with the posting core holding the
+// global turn).
+func (c *CPU) PostAbort(r AbortReason) { c.pendingAbort = r }
+
+// RaiseAbort aborts the current core immediately: used for synchronous
+// conditions (capacity overflow, explicit ABORT, colocation exception)
+// detected while executing one of the core's own operations.
+func (c *CPU) RaiseAbort(r AbortReason, code uint64) {
+	panic(&AbortError{Core: c.id, Reason: r, Code: code})
+}
+
+// Syscall models entering the kernel for cost extra cycles. System calls
+// abort speculative regions (§2.2).
+func (c *CPU) Syscall(cost uint64) {
+	c.flushCycles()
+	c.acquire()
+	c.checkOSEvents()
+	c.charge(c.m.cfg.SyscallCost + cost)
+	if c.spec != nil && c.spec.Active() {
+		c.spec.AsyncAbort(AbortSyscall)
+		c.deliverPendingAbort()
+	}
+	c.endOp()
+}
+
+// --- memory -------------------------------------------------------------
+
+// Load performs a plain (non-speculative) load.
+func (c *CPU) Load(a mem.Addr) mem.Word { return c.access(a, 0) }
+
+// Store performs a plain (non-speculative) store.
+func (c *CPU) Store(a mem.Addr, v mem.Word) { c.accessStore(a, v, FWrite) }
+
+// LoadLocked performs a LOCK MOV load: the line joins the speculative
+// region's read set. Only the ASF runtime issues these.
+func (c *CPU) LoadLocked(a mem.Addr) mem.Word { return c.access(a, FLocked) }
+
+// StoreLocked performs a LOCK MOV store: the line joins the region's write
+// set and is versioned for rollback.
+func (c *CPU) StoreLocked(a mem.Addr, v mem.Word) { c.accessStore(a, v, FWrite|FLocked) }
+
+// Watch monitors the line containing a without transferring data to the
+// program: WATCHR (write=false) or WATCHW (write=true).
+func (c *CPU) Watch(a mem.Addr, write bool) {
+	f := FLocked | FWatch
+	if write {
+		f |= FWrite
+	}
+	if write {
+		c.accessStore(a, 0, f) // FWatch: no data is written
+	} else {
+		c.access(a, f)
+	}
+}
+
+// CAS is an atomic compare-and-swap on the word at a. Returns the previous
+// value and whether the swap happened. Counts as a store for coherence and
+// speculation purposes (x86 CMPXCHG always issues a write probe).
+func (c *CPU) CAS(a mem.Addr, old, new mem.Word) (prev mem.Word, ok bool) {
+	c.flushCycles()
+	c.acquire()
+	c.checkOSEvents()
+	c.beforeAccess(a, true)
+	if c.m.hook != nil {
+		c.m.hook(c, a, FWrite|FAtomic|FPre)
+	}
+	res := c.m.Hier.Access(c.id, a, true)
+	c.charge(res.Cycles + 4) // locked RMW overhead
+	if c.m.hook != nil {
+		c.m.hook(c, a, FWrite|FAtomic)
+	}
+	prev = c.m.Mem.Load(a)
+	if prev == old {
+		c.m.Mem.Store(a, new)
+		ok = true
+	}
+	c.endOp()
+	return prev, ok
+}
+
+// FetchAdd atomically adds delta to the word at a, returning the old value.
+func (c *CPU) FetchAdd(a mem.Addr, delta mem.Word) mem.Word {
+	c.flushCycles()
+	c.acquire()
+	c.checkOSEvents()
+	c.beforeAccess(a, true)
+	if c.m.hook != nil {
+		c.m.hook(c, a, FWrite|FAtomic|FPre)
+	}
+	res := c.m.Hier.Access(c.id, a, true)
+	c.charge(res.Cycles + 4)
+	if c.m.hook != nil {
+		c.m.hook(c, a, FWrite|FAtomic)
+	}
+	old := c.m.Mem.Load(a)
+	c.m.Mem.Store(a, old+delta)
+	c.endOp()
+	return old
+}
+
+// Fence charges a full memory barrier.
+func (c *CPU) Fence() { c.Cycles(8) }
+
+// SpecOp performs a speculative-unit operation (SPECULATE, COMMIT, ABORT,
+// RELEASE bookkeeping) atomically at the current time while holding the
+// global turn. Pending asynchronous aborts are delivered first, so a COMMIT
+// racing with a conflict abort observes the abort, never a late commit.
+func (c *CPU) SpecOp(cost uint64, fn func()) {
+	c.flushCycles()
+	c.acquire()
+	c.checkOSEvents()
+	c.charge(cost)
+	fn()
+	c.endOp()
+}
+
+func (c *CPU) access(a mem.Addr, f Flags) mem.Word {
+	c.flushCycles()
+	c.acquire()
+	c.checkOSEvents()
+	c.beforeAccess(a, false)
+	if c.m.hook != nil {
+		c.m.hook(c, a, f|FPre)
+	}
+	res := c.m.Hier.Access(c.id, a, false)
+	c.charge(res.Cycles)
+	if c.m.hook != nil {
+		c.m.hook(c, a, f)
+	}
+	var v mem.Word
+	if f&FWatch == 0 {
+		v = c.m.Mem.Load(a)
+	}
+	c.endOp()
+	return v
+}
+
+func (c *CPU) accessStore(a mem.Addr, v mem.Word, f Flags) {
+	c.flushCycles()
+	c.acquire()
+	c.checkOSEvents()
+	c.beforeAccess(a, true)
+	if c.m.hook != nil {
+		c.m.hook(c, a, f|FPre) // conflict resolution before line movement
+	}
+	res := c.m.Hier.Access(c.id, a, true)
+	c.charge(res.Cycles)
+	if c.m.hook != nil {
+		c.m.hook(c, a, f) // tracking & versioning
+	}
+	if f&FLocked != 0 && c.pendingAbort != AbortNone {
+		// The access itself aborted the region mid-instruction (e.g.
+		// its refill displaced a speculatively marked line): the
+		// speculative store never retires.
+		c.endOp()
+		return
+	}
+	if f&FWatch == 0 {
+		c.m.Mem.Store(a, v)
+	}
+	c.endOp()
+}
+
+// beforeAccess handles demand paging. A page fault inside a speculative
+// region aborts it (ASF aborts on all exceptions); the OS model installs
+// the page as part of handling the fault, so the retry proceeds. TLB
+// misses, by contrast, never abort (unlike Sun Rock) — they are handled
+// silently by the cache model's page walker.
+func (c *CPU) beforeAccess(a mem.Addr, write bool) {
+	if c.m.Mem.Present(a) {
+		return
+	}
+	c.m.Mem.EnsurePresent(a)
+	c.charge(c.m.cfg.PageFaultCost)
+	if c.spec != nil && c.spec.Active() {
+		c.spec.AsyncAbort(AbortPageFault)
+		c.deliverPendingAbort()
+	}
+	_ = write
+}

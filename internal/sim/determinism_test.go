@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asfstack/internal/mem"
+)
+
+// TestDeterminismProperty: for arbitrary seeds and core counts, two
+// identical runs produce identical final memory and identical simulated
+// durations — the property everything else (reproducible figures,
+// debuggability) rests on.
+func TestDeterminismProperty(t *testing.T) {
+	run := func(seed int64, cores int) (mem.Word, uint64) {
+		cfg := Barcelona(cores)
+		cfg.Seed = seed
+		m := New(cfg)
+		m.Mem.Prefault(0, 1<<20)
+		bodies := make([]func(*CPU), cores)
+		for i := range bodies {
+			bodies[i] = func(c *CPU) {
+				rng := c.Rand()
+				for j := 0; j < 120; j++ {
+					a := mem.Addr(rng.Intn(64)) * mem.LineSize
+					switch rng.Intn(3) {
+					case 0:
+						c.Load(a)
+					case 1:
+						c.FetchAdd(a, 1)
+					default:
+						c.CAS(a, 0, mem.Word(c.ID()+1))
+					}
+					c.Exec(rng.Intn(50))
+				}
+			}
+		}
+		dur := m.Run(bodies...)
+		var sum mem.Word
+		for i := 0; i < 64; i++ {
+			sum += m.Mem.Load(mem.Addr(i) * mem.LineSize)
+		}
+		return sum, dur
+	}
+	prop := func(seed int64, rawCores uint8) bool {
+		cores := int(rawCores%8) + 1
+		s1, d1 := run(seed, cores)
+		s2, d2 := run(seed, cores)
+		return s1 == s2 && d1 == d2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClockMonotonicity: a core's clock never goes backwards across any
+// mix of operations.
+func TestClockMonotonicity(t *testing.T) {
+	m := New(Barcelona(2))
+	m.Mem.Prefault(0, 1<<20)
+	body := func(c *CPU) {
+		last := c.Now()
+		rng := c.Rand()
+		for i := 0; i < 300; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				c.Load(mem.Addr(rng.Intn(1024)) * 8 * 8)
+			case 1:
+				c.Store(mem.Addr(rng.Intn(1024))*8*8, 1)
+			case 2:
+				c.Exec(rng.Intn(20))
+			default:
+				c.FetchAdd(0x40, 1)
+			}
+			if now := c.Now(); now < last {
+				t.Errorf("clock went backwards: %d -> %d", last, now)
+				return
+			} else {
+				last = now
+			}
+		}
+	}
+	m.Run(body, body)
+}
+
+// TestSyncClocks: after a sync, all cores share the maximum clock.
+func TestSyncClocks(t *testing.T) {
+	m := New(Barcelona(3))
+	m.Mem.Prefault(0, 1<<16)
+	m.Run(
+		func(c *CPU) { c.Cycles(100); c.Load(0x40) },
+		func(c *CPU) { c.Cycles(90000); c.Load(0x80) },
+		func(c *CPU) { c.Load(0xC0) },
+	)
+	syncAt := m.SyncClocks()
+	for i := 0; i < 3; i++ {
+		if m.CPU(i).Now() != syncAt {
+			t.Fatalf("core %d at %d, sync said %d", i, m.CPU(i).Now(), syncAt)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"testing"
+
+	"asfstack/internal/mem"
+)
+
+func testMachine(t *testing.T, cores int) *Machine {
+	t.Helper()
+	cfg := Barcelona(cores)
+	m := New(cfg)
+	m.Mem.Prefault(0, 1<<20) // first MiB present: tests control faults
+	return m
+}
+
+func TestSingleCoreLoadStore(t *testing.T) {
+	m := testMachine(t, 1)
+	var got mem.Word
+	m.Run(func(c *CPU) {
+		c.Store(0x100, 42)
+		got = c.Load(0x100)
+	})
+	if got != 42 {
+		t.Fatalf("load after store = %d, want 42", got)
+	}
+}
+
+func TestLatencyLevels(t *testing.T) {
+	m := testMachine(t, 1)
+	var first, second uint64
+	m.Run(func(c *CPU) {
+		t0 := c.Now()
+		c.Load(0x40)
+		first = c.Now() - t0
+		t1 := c.Now()
+		c.Load(0x48) // same line: L1 hit
+		second = c.Now() - t1
+	})
+	cfg := m.Config().Cache
+	if first < cfg.MemLat {
+		t.Errorf("cold load cost %d, want >= RAM latency %d", first, cfg.MemLat)
+	}
+	if second != cfg.L1Lat {
+		t.Errorf("warm load cost %d, want L1 latency %d", second, cfg.L1Lat)
+	}
+}
+
+func TestExecBatching(t *testing.T) {
+	m := testMachine(t, 1)
+	var cycles uint64
+	m.Run(func(c *CPU) {
+		t0 := c.Now()
+		c.Exec(300) // at issue width 3
+		cycles = c.Now() - t0
+	})
+	if cycles != 100 {
+		t.Fatalf("Exec(300) at width 3 charged %d cycles, want 100", cycles)
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() (mem.Word, uint64) {
+		m := testMachine(t, 4)
+		body := func(c *CPU) {
+			for i := 0; i < 200; i++ {
+				c.FetchAdd(0x1000, 1)
+				c.Exec(10)
+			}
+		}
+		dur := m.Run(body, body, body, body)
+		return m.Mem.Load(0x1000), dur
+	}
+	v1, d1 := run()
+	v2, d2 := run()
+	if v1 != 800 {
+		t.Fatalf("4x200 atomic increments = %d, want 800", v1)
+	}
+	if v1 != v2 || d1 != d2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", v1, d1, v2, d2)
+	}
+}
+
+func TestCoresRunConcurrently(t *testing.T) {
+	// Two cores doing equal work should finish at roughly the same
+	// simulated time, not serialised one after the other.
+	m := testMachine(t, 2)
+	ends := make([]uint64, 2)
+	body := func(c *CPU) {
+		for i := 0; i < 100; i++ {
+			c.Store(mem.Addr(0x2000+c.ID()*0x1000+i*8), 1)
+			c.Exec(30)
+		}
+		ends[c.ID()] = c.Now()
+	}
+	m.Run(body, body)
+	if ends[0] == 0 || ends[1] == 0 {
+		t.Fatal("a core did not run")
+	}
+	ratio := float64(ends[0]) / float64(ends[1])
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("cores not overlapped: end times %v", ends)
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	m := testMachine(t, 1)
+	m.Run(func(c *CPU) {
+		c.Store(0x500, 7)
+		if prev, ok := c.CAS(0x500, 7, 9); !ok || prev != 7 {
+			t.Errorf("CAS(7->9): prev=%d ok=%v", prev, ok)
+		}
+		if prev, ok := c.CAS(0x500, 7, 11); ok || prev != 9 {
+			t.Errorf("failed CAS: prev=%d ok=%v", prev, ok)
+		}
+	})
+}
+
+func TestPageFaultChargesCost(t *testing.T) {
+	m := New(Barcelona(1)) // nothing prefaulted
+	var cost uint64
+	m.Run(func(c *CPU) {
+		t0 := c.Now()
+		c.Load(0x10000)
+		cost = c.Now() - t0
+	})
+	if cost < m.Config().PageFaultCost {
+		t.Fatalf("first touch cost %d, want >= page-fault cost %d",
+			cost, m.Config().PageFaultCost)
+	}
+	if m.Mem.FaultCount() != 1 {
+		t.Fatalf("fault count = %d, want 1", m.Mem.FaultCount())
+	}
+}
+
+func TestTimerInterruptFires(t *testing.T) {
+	cfg := Barcelona(1)
+	cfg.TimerInterval = 10_000
+	m := New(cfg)
+	m.Mem.Prefault(0, 1<<16)
+	var before, after uint64
+	m.Run(func(c *CPU) {
+		c.Load(0x40)
+		before = c.Now()
+		c.Cycles(25_000) // sail past two ticks
+		c.Load(0x80)
+		after = c.Now()
+	})
+	// Two interrupts' worth of kernel time should have been charged.
+	if after-before < 25_000+2*cfg.InterruptCost {
+		t.Fatalf("interrupt cost not charged: delta=%d", after-before)
+	}
+}
+
+func TestCategoryAccounting(t *testing.T) {
+	m := testMachine(t, 1)
+	m.Run(func(c *CPU) {
+		c.SetCategory(CatTxApp)
+		c.Exec(30)
+		c.SetCategory(CatTxLoadStore)
+		c.Load(0x40)
+		c.SetCategory(CatNonInstr)
+
+		b := c.Counters()
+		if b[CatTxApp] != 10 {
+			t.Errorf("CatTxApp = %d, want 10", b[CatTxApp])
+		}
+		if b[CatTxLoadStore] == 0 {
+			t.Errorf("CatTxLoadStore = 0, want load cost")
+		}
+	})
+}
+
+func TestMoveToAbort(t *testing.T) {
+	m := testMachine(t, 1)
+	m.Run(func(c *CPU) {
+		c.SetCategory(CatTxApp)
+		snap := c.Counters()
+		c.Exec(300)
+		c.Load(0x40)
+		c.MoveToAbort(snap)
+		b := c.Counters()
+		if b[CatTxApp] != 0 {
+			t.Errorf("CatTxApp = %d after MoveToAbort, want 0", b[CatTxApp])
+		}
+		if b[CatAbort] == 0 {
+			t.Errorf("CatAbort = 0, want the attempt's cycles")
+		}
+	})
+}
+
+func TestRunTwicePreservesClocks(t *testing.T) {
+	m := testMachine(t, 2)
+	d1 := m.Run(func(c *CPU) { c.Load(0x40) }, func(c *CPU) { c.Load(0x80) })
+	d2 := m.Run(func(c *CPU) { c.Load(0x40) })
+	if d2 <= d1 {
+		t.Fatalf("second run duration %d should extend the first (%d)", d2, d1)
+	}
+}
+
+func TestWorkloadPanicPropagates(t *testing.T) {
+	m := testMachine(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("workload panic did not propagate")
+		}
+	}()
+	m.Run(
+		func(c *CPU) {
+			for i := 0; i < 100; i++ {
+				c.Load(0x40)
+			}
+		},
+		func(c *CPU) {
+			c.Load(0x80)
+			panic("boom")
+		},
+	)
+}

@@ -1,0 +1,65 @@
+package stamp
+
+import (
+	"asfstack/internal/mem"
+	"asfstack/internal/sim"
+	"asfstack/internal/tm"
+)
+
+// Barrier is a sense-reversing barrier in simulated memory, used between
+// application phases (kmeans iterations, genome phases). It is plain
+// synchronisation — no transactions — like the pthread barriers in STAMP.
+//
+// Layout: word 0 = arrival count, word 1 = generation, on one line.
+type Barrier struct {
+	addr mem.Addr
+	n    int
+}
+
+// NewBarrier allocates a barrier for n threads.
+func NewBarrier(tx tm.Tx, n int) *Barrier {
+	b := &Barrier{addr: tx.AllocLines(1), n: n}
+	tx.Store(b.addr, 0)
+	tx.Store(b.addr+8, 0)
+	return b
+}
+
+// Wait blocks (spinning in simulated time) until all n threads arrive.
+func (b *Barrier) Wait(c *sim.CPU) {
+	gen := c.Load(b.addr + 8)
+	if c.FetchAdd(b.addr, 1) == mem.Word(b.n-1) {
+		c.Store(b.addr, 0)
+		c.Store(b.addr+8, gen+1)
+		return
+	}
+	for c.Load(b.addr+8) == gen {
+		c.Cycles(120)
+	}
+}
+
+// span returns thread tid's half-open share [lo, hi) of n items.
+func span(n, tid, threads int) (lo, hi int) {
+	per := (n + threads - 1) / threads
+	lo = tid * per
+	hi = lo + per
+	if hi > n {
+		hi = n
+	}
+	if lo > n {
+		lo = n
+	}
+	return lo, hi
+}
+
+// wordArray is a convenience for simulated-memory arrays of words.
+type wordArray struct {
+	base mem.Addr
+	n    int
+}
+
+func allocArray(tx tm.Tx, n int) wordArray {
+	lines := (n*mem.WordSize + mem.LineSize - 1) / mem.LineSize
+	return wordArray{base: tx.AllocLines(lines), n: n}
+}
+
+func (a wordArray) addr(i int) mem.Addr { return a.base + mem.Addr(i*mem.WordSize) }

@@ -1,0 +1,131 @@
+// Package stamp re-implements the STAMP benchmark applications the paper
+// evaluates (§5): genome, intruder, kmeans (low/high), labyrinth, ssca2,
+// and vacation (low/high). Bayes and yada are excluded, as in the paper.
+//
+// Each application preserves the original's algorithmic structure, shared
+// data layout (with line-padded entry points), transaction boundaries and
+// contention profile, scaled to simulator-sized inputs in the spirit of
+// STAMP's own "-sim" configurations. All shared accesses go through the TM
+// ABI; read-only inputs and thread-private scratch use plain accesses
+// (DTMC's selective-annotation output).
+package stamp
+
+import (
+	"fmt"
+
+	"asfstack"
+	"asfstack/internal/sim"
+	"asfstack/internal/tm"
+)
+
+// Apps lists the benchmark configurations in the paper's figure order.
+var Apps = []string{
+	"genome", "intruder", "kmeans-low", "kmeans-high",
+	"labyrinth", "ssca2", "vacation-low", "vacation-high",
+}
+
+// App is one STAMP application instance.
+type App interface {
+	// Name returns the figure label.
+	Name() string
+	// Setup builds the initial data set (direct, uninstrumented).
+	// threads is the measured phase's worker count (for barriers).
+	Setup(s *asfstack.Stack, tx tm.Tx, threads int)
+	// Thread runs one worker's share of the measured phase.
+	Thread(s *asfstack.Stack, c *sim.CPU, tid, threads int)
+	// Validate checks application-level invariants after the run.
+	Validate(tx tm.Tx) error
+}
+
+// Config describes one STAMP run.
+type Config struct {
+	App     string // one of Apps
+	Runtime string // asfstack runtime label
+	Threads int
+	Seed    int64
+	// Scale multiplies the default input size (1.0 when zero); used by
+	// tests to shrink runs.
+	Scale float64
+	// Native runs on the native-reference timing calibration instead of
+	// the Barcelona simulator model (the Fig. 3 accuracy experiment).
+	Native bool
+}
+
+// Result carries the measurements of a run.
+type Result struct {
+	Config    Config
+	Cycles    uint64 // simulated duration of the measured phase
+	Millis    float64
+	Stats     tm.Stats
+	Breakdown sim.Breakdown
+}
+
+// New instantiates an application by name.
+func New(name string, threads int, scale float64) (App, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	switch name {
+	case "genome":
+		return newGenome(scale), nil
+	case "intruder":
+		return newIntruder(scale), nil
+	case "kmeans-low":
+		return newKMeans(scale, false), nil
+	case "kmeans-high":
+		return newKMeans(scale, true), nil
+	case "labyrinth":
+		return newLabyrinth(scale), nil
+	case "ssca2":
+		return newSSCA2(scale), nil
+	case "vacation-low":
+		return newVacation(scale, false), nil
+	case "vacation-high":
+		return newVacation(scale, true), nil
+	default:
+		return nil, fmt.Errorf("stamp: unknown app %q", name)
+	}
+}
+
+// Run executes one configuration to completion and validates the result.
+func Run(cfg Config) (Result, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	app, err := New(cfg.App, cfg.Threads, cfg.Scale)
+	if err != nil {
+		return Result{}, err
+	}
+	opts := asfstack.Options{
+		Cores:   cfg.Threads,
+		Runtime: cfg.Runtime,
+		Seed:    cfg.Seed,
+	}
+	if cfg.Native {
+		mc := sim.NativeReference(cfg.Threads)
+		opts.Machine = &mc
+	}
+	s := asfstack.New(opts)
+	s.Setup(func(tx tm.Tx) { app.Setup(s, tx, cfg.Threads) })
+
+	start := s.BeginMeasured()
+
+	end := s.Parallel(cfg.Threads, func(c *sim.CPU) {
+		app.Thread(s, c, c.ID(), cfg.Threads)
+	})
+
+	res := Result{Config: cfg, Cycles: end - start}
+	res.Millis = float64(res.Cycles) / 2_200_000.0
+	res.Stats = s.TotalStats()
+	for i := 0; i < cfg.Threads; i++ {
+		res.Breakdown = res.Breakdown.Add(s.M.CPU(i).Counters())
+	}
+
+	var verr error
+	s.Setup(func(tx tm.Tx) { verr = app.Validate(tx) })
+	if verr != nil {
+		return res, fmt.Errorf("stamp %s/%s/%d: validation: %w",
+			cfg.App, cfg.Runtime, cfg.Threads, verr)
+	}
+	return res, nil
+}

@@ -1,0 +1,126 @@
+package stamp
+
+import (
+	"testing"
+
+	"asfstack/internal/sim"
+)
+
+// TestDeterministicRuns: identical configs produce identical results.
+func TestDeterministicRuns(t *testing.T) {
+	cfg := Config{App: "intruder", Runtime: "LLB-256", Threads: 4, Scale: 0.25}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Stats != b.Stats {
+		t.Fatalf("nondeterministic: %d/%d cycles", a.Cycles, b.Cycles)
+	}
+}
+
+// TestAllAppsValidateOnAllVariants runs every app on every ASF variant
+// (small scale) — the validation inside Run is the assertion.
+func TestAllAppsValidateOnAllVariants(t *testing.T) {
+	for _, app := range Apps {
+		for _, rt := range []string{"LLB-8", "LLB-8 w/ L1", "LLB-256 w/ L1"} {
+			if _, err := Run(Config{App: app, Runtime: rt, Threads: 2, Scale: 0.125}); err != nil {
+				t.Errorf("%s/%s: %v", app, rt, err)
+			}
+		}
+	}
+}
+
+// TestSequentialBaseline: every app runs uninstrumented on one thread.
+func TestSequentialBaseline(t *testing.T) {
+	for _, app := range Apps {
+		r, err := Run(Config{App: app, Runtime: "Sequential", Threads: 1, Scale: 0.125})
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if r.Cycles == 0 {
+			t.Fatalf("%s: no simulated time", app)
+		}
+		if r.Stats.TotalAborts() != 0 {
+			t.Fatalf("%s: sequential run aborted", app)
+		}
+	}
+}
+
+// TestScalableAppsScale: genome and ssca2 must run faster on 4 threads
+// than on 1 with LLB-256 (the Fig. 4 scaling shape).
+func TestScalableAppsScale(t *testing.T) {
+	for _, app := range []string{"genome", "ssca2"} {
+		r1, err := Run(Config{App: app, Runtime: "LLB-256", Threads: 1, Scale: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r4, err := Run(Config{App: app, Runtime: "LLB-256", Threads: 4, Scale: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r4.Millis > r1.Millis*0.7 {
+			t.Errorf("%s: 4 threads %.3fms vs 1 thread %.3fms — no scaling",
+				app, r4.Millis, r1.Millis)
+		}
+	}
+}
+
+// TestLabyrinthMostlySerialOnASF: the huge read/write sets must push
+// labyrinth's routing transactions into serial-irrevocable mode (Fig. 4's
+// non-scaling panel).
+func TestLabyrinthMostlySerialOnASF(t *testing.T) {
+	r, err := Run(Config{App: "labyrinth", Runtime: "LLB-256", Threads: 4, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each route is one transaction among ~3 per route; at least the
+	// routing transactions should be serial.
+	if r.Stats.Serial < 10 {
+		t.Fatalf("labyrinth serial commits = %d: capacity pressure missing", r.Stats.Serial)
+	}
+	if r.Stats.Aborts[sim.AbortCapacity] == 0 {
+		t.Fatal("labyrinth produced no capacity aborts")
+	}
+}
+
+// TestIntruderContention: intruder's shared queues must produce a
+// substantial abort rate at 4+ threads (Fig. 6's most contended app).
+func TestIntruderContention(t *testing.T) {
+	r, err := Run(Config{App: "intruder", Runtime: "LLB-256", Threads: 4, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(r.Stats.Aborts[sim.AbortContention]) / float64(r.Stats.Attempts())
+	if rate < 0.05 {
+		t.Fatalf("intruder contention abort rate %.1f%%: too tame", rate*100)
+	}
+}
+
+// TestASFBeatsSTMOnStamp: at 4 threads, ASF (LLB-256) must beat the STM on
+// every application (the paper's headline).
+func TestASFBeatsSTMOnStamp(t *testing.T) {
+	for _, app := range Apps {
+		a, err := Run(Config{App: app, Runtime: "LLB-256", Threads: 4, Scale: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Run(Config{App: app, Runtime: "STM", Threads: 4, Scale: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Millis >= s.Millis {
+			t.Errorf("%s: ASF %.3fms not faster than STM %.3fms", app, a.Millis, s.Millis)
+		}
+	}
+}
+
+// TestUnknownAppRejected: configuration errors surface as errors.
+func TestUnknownAppRejected(t *testing.T) {
+	if _, err := Run(Config{App: "bayes", Runtime: "LLB-256", Threads: 1}); err == nil {
+		t.Fatal("excluded app accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package tm
+
+import (
+	"asfstack/internal/mem"
+	"asfstack/internal/sim"
+)
+
+// Direct returns a Tx that performs plain, unsynchronised accesses on c —
+// no speculation, no locks, no barriers. It is used for setup phases
+// (populating data structures before the measured region begins, the
+// paper's "benchmark initialization ... at native speed") and by
+// single-threaded baseline code.
+//
+// It is not a transaction: there is no atomicity and no rollback. Using it
+// concurrently with real transactions on the same data is a workload bug.
+func Direct(c *sim.CPU, heap *Heap) Tx {
+	return &directTx{c: c, heap: heap}
+}
+
+type directTx struct {
+	c    *sim.CPU
+	heap *Heap
+}
+
+func (t *directTx) Load(a mem.Addr) mem.Word     { return t.c.Load(a) }
+func (t *directTx) Store(a mem.Addr, v mem.Word) { t.c.Store(a, v) }
+func (t *directTx) CPU() *sim.CPU                { return t.c }
+func (t *directTx) Irrevocable() bool            { return true }
+func (t *directTx) Free(a mem.Addr)              { t.heap.Free(t.c) }
+
+func (t *directTx) Alloc(size uint64) mem.Addr {
+	for {
+		a, ok := t.heap.AllocFast(t.c, size, mem.WordSize)
+		if ok {
+			return a
+		}
+		t.heap.Refill(t.c, size)
+	}
+}
+
+func (t *directTx) AllocLines(n int) mem.Addr {
+	for {
+		a, ok := t.heap.AllocFast(t.c, uint64(n)*mem.LineSize, mem.LineSize)
+		if ok {
+			return a
+		}
+		t.heap.Refill(t.c, uint64(n)*mem.LineSize)
+	}
+}

@@ -1,0 +1,92 @@
+package tm
+
+import (
+	"asfstack/internal/mem"
+	"asfstack/internal/sim"
+)
+
+// Heap is the memory allocator shared by all runtimes: thread-private
+// arenas in simulated memory (the paper selects the most scalable of three
+// allocators; thread-private pools are what makes them scale), fronted by a
+// per-thread fast pool that the *transactional* allocator bump-allocates
+// from without leaving the speculative region.
+//
+// When the pool is empty the real allocator must run — a system call in the
+// worst case — which is not abort-safe inside an ASF region. ASF-TM
+// therefore aborts with CodeMallocRefill, refills outside the region, and
+// retries: the paper's "Abort (malloc)" events. STM and serial transactions
+// refill inline.
+//
+// Allocations made by aborted transactions are leaked (the pool pointer is
+// not rolled back); this is the same robustness-by-leak design the paper's
+// custom in-transaction allocator uses, and the arenas are sized for it.
+type Heap struct {
+	arenas []*mem.Arena
+	pool   []uint64 // per core: bytes remaining before a refill is needed
+
+	// ChunkSize is how many bytes a refill adds to the fast pool.
+	ChunkSize uint64
+	// RefillCost is the extra kernel cost of a refill (sbrk/mmap path).
+	RefillCost uint64
+	// AllocInstr is the instruction cost of a fast-path allocation.
+	AllocInstr int
+}
+
+// NewHeap carves one arena per core out of layout and prefaults nothing:
+// freshly allocated pages fault on first touch, exactly the behaviour that
+// produces the hash-set page-fault aborts in Table 1.
+func NewHeap(m *mem.Memory, layout *mem.Layout, cores int, bytesPerCore uint64) *Heap {
+	h := &Heap{
+		ChunkSize:  64 << 10,
+		RefillCost: 800,
+		AllocInstr: 25,
+	}
+	for i := 0; i < cores; i++ {
+		base, end := layout.Region(bytesPerCore)
+		h.arenas = append(h.arenas, mem.NewArena(m, base, end))
+	}
+	h.pool = make([]uint64, cores)
+	return h
+}
+
+// AllocFast tries a pool allocation on core c, charging the fast-path cost.
+// ok=false means the pool is exhausted: the caller must Refill (outside any
+// hardware region) and try again.
+func (h *Heap) AllocFast(c *sim.CPU, size, align uint64) (a mem.Addr, ok bool) {
+	c.Exec(h.AllocInstr)
+	if size > h.pool[c.ID()] {
+		return 0, false
+	}
+	h.pool[c.ID()] -= size
+	return h.arenas[c.ID()].Alloc(size, align), true
+}
+
+// Refill grows core c's fast pool by at least need bytes, entering the
+// kernel. Must not be called inside an ASF speculative region (the system
+// call would abort it); runtimes abort first and refill from the begin path.
+func (h *Heap) Refill(c *sim.CPU, need uint64) {
+	chunk := h.ChunkSize
+	for chunk < need {
+		chunk *= 2
+	}
+	c.Syscall(h.RefillCost)
+	h.pool[c.ID()] += chunk
+}
+
+// Free accounts a transactional free. The arena model reclaims nothing;
+// only the bookkeeping cost is charged.
+func (h *Heap) Free(c *sim.CPU) { c.Exec(12) }
+
+// SetupAlloc allocates without charging simulated cycles — for building
+// initial data sets before the measured phase. The touched pages are
+// prefaulted so the measured phase does not pay their cold-start faults
+// (benchmark initialisation runs natively, outside the simulator, in the
+// paper's methodology).
+func (h *Heap) SetupAlloc(core int, size, align uint64) mem.Addr {
+	a := h.arenas[core].Alloc(size, align)
+	h.arenas[core].Prefault(a, size)
+	return a
+}
+
+// Arena exposes core i's arena (tests and setup code).
+func (h *Heap) Arena(i int) *mem.Arena { return h.arenas[i] }

@@ -1,0 +1,91 @@
+package tm
+
+import (
+	"testing"
+
+	"asfstack/internal/mem"
+	"asfstack/internal/sim"
+)
+
+func newHeap(t *testing.T) (*sim.Machine, *Heap) {
+	t.Helper()
+	m := sim.New(sim.Barcelona(2))
+	layout := mem.NewLayout(mem.PageSize)
+	return m, NewHeap(m.Mem, layout, 2, 8<<20)
+}
+
+func TestAllocFastNeedsRefill(t *testing.T) {
+	m, h := newHeap(t)
+	m.Run(func(c *sim.CPU) {
+		if _, ok := h.AllocFast(c, 64, 8); ok {
+			t.Error("empty pool satisfied an allocation")
+		}
+		h.Refill(c, 64)
+		a, ok := h.AllocFast(c, 64, 8)
+		if !ok {
+			t.Fatal("refilled pool failed")
+		}
+		if !a.WordAligned() {
+			t.Fatalf("allocation at %v", a)
+		}
+	})
+}
+
+func TestRefillGrowsToNeed(t *testing.T) {
+	m, h := newHeap(t)
+	m.Run(func(c *sim.CPU) {
+		h.Refill(c, 1<<20) // bigger than one chunk
+		if _, ok := h.AllocFast(c, 1<<20, 8); !ok {
+			t.Fatal("refill did not cover the requested size")
+		}
+	})
+}
+
+func TestPerCorePoolsIndependent(t *testing.T) {
+	m, h := newHeap(t)
+	m.Run(
+		func(c *sim.CPU) {
+			h.Refill(c, 4096)
+			if _, ok := h.AllocFast(c, 4096, 8); !ok {
+				t.Error("core 0 pool empty after refill")
+			}
+		},
+		func(c *sim.CPU) {
+			if _, ok := h.AllocFast(c, 64, 8); ok {
+				t.Error("core 1 pool shared core 0's refill")
+			}
+		},
+	)
+}
+
+func TestSetupAllocPrefaults(t *testing.T) {
+	m, h := newHeap(t)
+	a := h.SetupAlloc(0, 3*mem.PageSize, mem.LineSize)
+	if !m.Mem.Present(a) || !m.Mem.Present(a+2*mem.PageSize) {
+		t.Fatal("setup allocation not prefaulted")
+	}
+	if a%mem.LineSize != 0 {
+		t.Fatalf("alignment: %v", a)
+	}
+}
+
+func TestDirectTxSemantics(t *testing.T) {
+	m, h := newHeap(t)
+	m.Mem.Prefault(0, 1<<16)
+	m.Run(func(c *sim.CPU) {
+		tx := Direct(c, h)
+		tx.Store(0x800, 3)
+		if got := tx.Load(0x800); got != 3 {
+			t.Errorf("direct roundtrip = %d", got)
+		}
+		if !tx.Irrevocable() {
+			t.Error("direct tx must be irrevocable")
+		}
+		a := tx.Alloc(128)
+		tx.Store(a, 1)
+		b := tx.AllocLines(2)
+		if b%mem.LineSize != 0 {
+			t.Errorf("AllocLines alignment: %v", b)
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package tm
+
+import (
+	"testing"
+
+	"asfstack/internal/sim"
+)
+
+func TestStatsArithmetic(t *testing.T) {
+	var a Stats
+	a.Commits = 10
+	a.Serial = 2
+	a.Aborts[sim.AbortContention] = 3
+	a.Aborts[sim.AbortCapacity] = 1
+	a.STMAborts = 4
+	a.MallocAborts = 1
+
+	if got := a.TotalAborts(); got != 8 {
+		t.Errorf("TotalAborts = %d, want 8", got)
+	}
+	if got := a.Attempts(); got != 18 {
+		t.Errorf("Attempts = %d, want 18", got)
+	}
+
+	var b Stats
+	b.Commits = 5
+	b.Aborts[sim.AbortContention] = 2
+	b.Add(a)
+	if b.Commits != 15 || b.Aborts[sim.AbortContention] != 5 ||
+		b.Serial != 2 || b.STMAborts != 4 || b.MallocAborts != 1 {
+		t.Errorf("Add result = %+v", b)
+	}
+}

@@ -1,0 +1,121 @@
+// Package tm defines the transactional-memory application binary interface
+// (ABI) the rest of the stack is written against, mirroring the role of the
+// Intel TM ABI proposal in the paper's stack: the compiler (and our
+// workloads, which are written in the post-compiler form) target this
+// interface, and TM implementations — ASF-TM, the TinySTM baseline, the
+// uninstrumented sequential runtime — provide it. Programs written against
+// the ABI run unchanged on any of them, which is exactly the portability
+// argument §3.1 makes.
+package tm
+
+import (
+	"asfstack/internal/mem"
+	"asfstack/internal/sim"
+)
+
+// Tx is the per-transaction handle: the _ITM_R8/_ITM_W8-style barriers plus
+// transactional memory management.
+//
+// Load and Store are the instrumented accesses for data that may be shared;
+// thread-local data (the stack, in compiled code) is accessed directly
+// through CPU() — the selective-annotation optimisation DTMC performs.
+type Tx interface {
+	// Load performs a transactional read of the word at a.
+	Load(a mem.Addr) mem.Word
+	// Store performs a transactional write of the word at a.
+	Store(a mem.Addr, v mem.Word)
+	// Alloc returns size bytes of zeroed transactional memory. The
+	// allocation is abort-safe: it is rolled back (leaked, in the
+	// arena model) if the transaction aborts.
+	Alloc(size uint64) mem.Addr
+	// AllocLines returns n whole, line-aligned cache lines — the padded
+	// allocation used for shared-structure entry points.
+	AllocLines(n int) mem.Addr
+	// Free releases an allocation at commit time. (The arena allocator
+	// makes this a bookkeeping no-op, charged but not reclaimed.)
+	Free(a mem.Addr)
+	// CPU returns the core, for uninstrumented (thread-local) accesses
+	// and compute charging.
+	CPU() *sim.CPU
+	// Irrevocable reports whether the transaction runs in
+	// serial-irrevocable mode (it cannot abort and runs alone).
+	Irrevocable() bool
+}
+
+// Runtime is a TM implementation: it executes atomic blocks.
+type Runtime interface {
+	// Name returns the label used in figures ("LLB-256", "STM", ...).
+	Name() string
+	// Atomic executes body as one transaction on core c, retrying and
+	// falling back as the implementation dictates, and returns only
+	// after a successful commit.
+	Atomic(c *sim.CPU, body func(tx Tx))
+	// Stats returns core-level outcome counters.
+	Stats(core int) Stats
+	// ResetStats zeroes all counters (start of the measured phase).
+	ResetStats()
+}
+
+// Stats aggregates transaction outcomes for one core, in the categories of
+// the paper's abort breakdown (Fig. 6).
+type Stats struct {
+	Commits uint64 // committed transactions
+	Serial  uint64 // commits that ran in serial-irrevocable mode
+
+	// Aborts per hardware reason (indexed by sim.AbortReason).
+	Aborts [sim.NumAbortReasons]uint64
+	// MallocAborts: explicit aborts taken to refill the transactional
+	// allocator (the paper's "Abort (malloc)" category). These are also
+	// counted in Aborts[sim.AbortExplicit].
+	MallocAborts uint64
+	// STMAborts: software aborts of an STM runtime (conflict, validation
+	// failure). Hardware runtimes leave this zero.
+	STMAborts uint64
+}
+
+// TotalAborts sums hardware and software aborts.
+func (s *Stats) TotalAborts() uint64 {
+	var t uint64
+	for _, v := range s.Aborts {
+		t += v
+	}
+	return t + s.STMAborts
+}
+
+// Attempts returns commits + aborts (every try counts once).
+func (s *Stats) Attempts() uint64 { return s.Commits + s.TotalAborts() }
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Commits += o.Commits
+	s.Serial += o.Serial
+	for i := range s.Aborts {
+		s.Aborts[i] += o.Aborts[i]
+	}
+	s.MallocAborts += o.MallocAborts
+	s.STMAborts += o.STMAborts
+}
+
+// Explicit-abort software codes (carried in rAX by the ABORT instruction).
+const (
+	// CodeMallocRefill: the transactional allocator ran out of pool and
+	// must call the real allocator outside the region.
+	CodeMallocRefill uint64 = 0x11A110C
+	// CodeSerialRunning: a serial-irrevocable transaction holds the
+	// global token; the hardware path cannot proceed.
+	CodeSerialRunning uint64 = 0x5E71A1
+	// CodeUserRetry: the program requested an explicit retry.
+	CodeUserRetry uint64 = 0x7E781
+	// CodeSerialRequest: the program (via the compiler's serialize
+	// lowering, §3.3) asked to restart in serial-irrevocable mode
+	// before an action with no transaction-safe version.
+	CodeSerialRequest uint64 = 0x5E71A2
+)
+
+// Irrevocably is implemented by transactions that can switch to
+// serial-irrevocable mode mid-flight — the lowering DTMC emits before
+// calling a function with no transactional clone. The switch may restart
+// the transaction (work so far is rolled back and re-executed serially).
+type Irrevocably interface {
+	BecomeIrrevocable()
+}

@@ -1,0 +1,116 @@
+// Package trace performs the offline cycle-breakdown analysis of the
+// paper's methodology (§5): replaying a timed trace of category switches
+// and transaction lifecycle events into per-category cycle counts —
+// aborted attempts' cycles land in the abort/restart bucket wholesale.
+//
+// The result must agree with the simulator's online accounting; the tests
+// cross-validate the two, which is exactly the redundancy the paper built
+// by keeping the statistics path out of the measured execution.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"asfstack/internal/sim"
+)
+
+// CoreBreakdown is the analysis result for one core.
+type CoreBreakdown struct {
+	Core      int
+	Breakdown sim.Breakdown
+	Commits   uint64
+	Aborts    uint64
+}
+
+// Analyze replays events into per-core breakdowns. start is the common
+// time the measured phase began (all cores' clocks were synchronised
+// there); ends[i] is core i's final clock. Events must come from
+// Machine.TraceEvents (per-core chronological).
+func Analyze(events []sim.TraceEvent, start uint64, ends []uint64) ([]CoreBreakdown, error) {
+	perCore := map[int][]sim.TraceEvent{}
+	for _, e := range events {
+		perCore[e.Core] = append(perCore[e.Core], e)
+	}
+	var out []CoreBreakdown
+	for core, evs := range perCore {
+		if core >= len(ends) {
+			return nil, fmt.Errorf("trace: core %d has no end time", core)
+		}
+		cb, err := analyzeCore(core, evs, start, ends[core])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Core < out[j].Core })
+	return out, nil
+}
+
+func analyzeCore(core int, evs []sim.TraceEvent, start, end uint64) (CoreBreakdown, error) {
+	cb := CoreBreakdown{Core: core}
+	cur := sim.CatNonInstr
+	lastT := start
+	inTx := false
+	var attempt sim.Breakdown // segments of the open attempt
+
+	segment := func(until uint64) error {
+		if until < lastT {
+			return fmt.Errorf("trace: core %d time went backwards (%d -> %d)", core, lastT, until)
+		}
+		d := until - lastT
+		if inTx {
+			attempt[cur] += d
+		} else {
+			cb.Breakdown[cur] += d
+		}
+		lastT = until
+		return nil
+	}
+
+	for _, e := range evs {
+		if err := segment(e.Time); err != nil {
+			return cb, err
+		}
+		switch e.Kind {
+		case sim.TraceCategory:
+			cur = sim.Category(e.Arg)
+		case sim.TraceTxBegin:
+			if inTx {
+				// Nested begin inside an attempt: flatten (the
+				// runtimes emit one begin per outermost attempt, so
+				// this indicates a serial restart — fold the failed
+				// prefix into the new attempt).
+				continue
+			}
+			inTx = true
+		case sim.TraceTxCommit:
+			cb.Breakdown = cb.Breakdown.Add(attempt)
+			attempt = sim.Breakdown{}
+			inTx = false
+			cb.Commits++
+		case sim.TraceTxAbort:
+			cb.Breakdown[sim.CatAbort] += attempt.Total()
+			attempt = sim.Breakdown{}
+			inTx = false
+			cb.Aborts++
+		}
+	}
+	if err := segment(end); err != nil {
+		return cb, err
+	}
+	if inTx {
+		// An attempt left open at the end of the measured window.
+		cb.Breakdown = cb.Breakdown.Add(attempt)
+	}
+	return cb, nil
+}
+
+// Total sums the per-core breakdowns.
+func Total(cbs []CoreBreakdown) sim.Breakdown {
+	var t sim.Breakdown
+	for _, cb := range cbs {
+		t = t.Add(cb.Breakdown)
+	}
+	return t
+}

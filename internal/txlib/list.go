@@ -1,0 +1,111 @@
+package txlib
+
+import (
+	"asfstack/internal/mem"
+	"asfstack/internal/tm"
+)
+
+// List is a sorted singly linked list implementing an integer set — the
+// IntegerSet linked-list workload. Each node occupies one cache line:
+//
+//	word 0: next pointer (0 terminates)
+//	word 1: key
+//
+// With EarlyRelease set (and a runtime that supports it), traversal keeps
+// only a hand-over-hand window [prev, cur] in the read set, releasing
+// earlier nodes — the Fig. 8 optimisation that lets an 8-entry LLB walk
+// arbitrarily long lists.
+type List struct {
+	head mem.Addr // sentinel node, line-padded
+	// EarlyRelease enables hand-over-hand read-set trimming.
+	EarlyRelease bool
+}
+
+const (
+	listNext = 0
+	listKey  = 1
+)
+
+// NewList builds an empty list, allocating its sentinel via tx.
+func NewList(tx tm.Tx) *List {
+	head := tx.AllocLines(1)
+	tx.Store(field(head, listNext), 0)
+	return &List{head: head}
+}
+
+// find walks to the first node with key >= k, returning (prev, cur).
+// cur may be 0 (end of list). Traversal work is charged per hop.
+func (l *List) find(tx tm.Tx, k uint64) (prev, cur mem.Addr) {
+	c := tx.CPU()
+	prev = l.head
+	cur = mem.Addr(tx.Load(field(prev, listNext)))
+	var older mem.Addr // node before prev, candidate for release
+	for cur != 0 {
+		c.Exec(6)
+		kk := uint64(tx.Load(field(cur, listKey)))
+		if kk >= k {
+			break
+		}
+		if l.EarlyRelease && older != 0 {
+			release(tx, older)
+		}
+		older, prev = prev, cur
+		cur = mem.Addr(tx.Load(field(cur, listNext)))
+	}
+	return prev, cur
+}
+
+// Contains reports whether k is in the set.
+func (l *List) Contains(tx tm.Tx, k uint64) bool {
+	_, cur := l.find(tx, k)
+	return cur != 0 && uint64(tx.Load(field(cur, listKey))) == k
+}
+
+// Insert adds k, returning false if it was already present.
+func (l *List) Insert(tx tm.Tx, k uint64) bool {
+	prev, cur := l.find(tx, k)
+	if cur != 0 && uint64(tx.Load(field(cur, listKey))) == k {
+		return false
+	}
+	n := tx.AllocLines(1)
+	tx.Store(field(n, listKey), mem.Word(k))
+	tx.Store(field(n, listNext), mem.Word(cur))
+	tx.Store(field(prev, listNext), mem.Word(n))
+	return true
+}
+
+// Remove deletes k, returning false if it was absent. The removed node's
+// next pointer is poisoned (written), which guarantees a conflict with any
+// concurrent transaction still holding the node — required for correctness
+// under early release, and what a transactional free list does anyway.
+func (l *List) Remove(tx tm.Tx, k uint64) bool {
+	prev, cur := l.find(tx, k)
+	if cur == 0 || uint64(tx.Load(field(cur, listKey))) != k {
+		return false
+	}
+	next := tx.Load(field(cur, listNext))
+	tx.Store(field(prev, listNext), next)
+	tx.Store(field(cur, listNext), ^mem.Word(0)) // poison
+	tx.Free(cur)
+	return true
+}
+
+// Size counts elements (setup/verification; O(n) transactional reads).
+func (l *List) Size(tx tm.Tx) int {
+	n := 0
+	for cur := mem.Addr(tx.Load(field(l.head, listNext))); cur != 0; {
+		n++
+		cur = mem.Addr(tx.Load(field(cur, listNext)))
+	}
+	return n
+}
+
+// Keys returns the set contents in order (verification).
+func (l *List) Keys(tx tm.Tx) []uint64 {
+	var out []uint64
+	for cur := mem.Addr(tx.Load(field(l.head, listNext))); cur != 0; {
+		out = append(out, uint64(tx.Load(field(cur, listKey))))
+		cur = mem.Addr(tx.Load(field(cur, listNext)))
+	}
+	return out
+}

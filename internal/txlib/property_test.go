@@ -1,0 +1,141 @@
+package txlib_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asfstack"
+	"asfstack/internal/sim"
+	"asfstack/internal/tm"
+	"asfstack/internal/txlib"
+)
+
+// applyOps drives a set and a map model with the same decoded operations
+// and reports the first divergence.
+func applyOps(t *testing.T, name string, build func(tx tm.Tx) set, ops []uint16) bool {
+	s := asfstack.New(asfstack.Options{Cores: 1, Runtime: "Sequential"})
+	var ds set
+	s.Setup(func(tx tm.Tx) { ds = build(tx) })
+	model := map[uint64]bool{}
+	okAll := true
+	s.M.Run(func(c *sim.CPU) {
+		tx := tm.Direct(c, s.Heap)
+		for _, op := range ops {
+			k := uint64(op & 0x3F) // 64 keys
+			switch (op >> 6) % 3 {
+			case 0:
+				want := !model[k]
+				if got := ds.Insert(tx, k); got != want {
+					t.Logf("%s: Insert(%d)=%v want %v", name, k, got, want)
+					okAll = false
+					return
+				}
+				model[k] = true
+			case 1:
+				want := model[k]
+				if got := ds.Remove(tx, k); got != want {
+					t.Logf("%s: Remove(%d)=%v want %v", name, k, got, want)
+					okAll = false
+					return
+				}
+				delete(model, k)
+			default:
+				if got := ds.Contains(tx, k); got != model[k] {
+					t.Logf("%s: Contains(%d)=%v want %v", name, k, got, model[k])
+					okAll = false
+					return
+				}
+			}
+		}
+		if ds.Size(tx) != len(model) {
+			t.Logf("%s: size %d want %d", name, ds.Size(tx), len(model))
+			okAll = false
+		}
+	})
+	return okAll
+}
+
+// TestSetsQuickProperty runs quick-generated operation sequences against
+// the map model on every structure.
+func TestSetsQuickProperty(t *testing.T) {
+	for name, build := range builders() {
+		name, build := name, build
+		t.Run(name, func(t *testing.T) {
+			prop := func(raw []uint16) bool {
+				if len(raw) > 400 {
+					raw = raw[:400]
+				}
+				return applyOps(t, name, build, raw)
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(7))}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestListStaysSortedProperty: after any operation sequence the list's keys
+// are strictly increasing.
+func TestListStaysSortedProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) > 300 {
+			raw = raw[:300]
+		}
+		s := asfstack.New(asfstack.Options{Cores: 1, Runtime: "Sequential"})
+		var l *txlib.List
+		s.Setup(func(tx tm.Tx) { l = txlib.NewList(tx) })
+		sorted := true
+		s.M.Run(func(c *sim.CPU) {
+			tx := tm.Direct(c, s.Heap)
+			for _, op := range raw {
+				k := uint64(op & 0xFF)
+				if op>>8&1 == 0 {
+					l.Insert(tx, k)
+				} else {
+					l.Remove(tx, k)
+				}
+			}
+			keys := l.Keys(tx)
+			for i := 1; i < len(keys); i++ {
+				if keys[i-1] >= keys[i] {
+					sorted = false
+				}
+			}
+		})
+		return sorted
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRBTreeInvariantProperty: the red-black invariants hold after any
+// quick-generated mutation sequence.
+func TestRBTreeInvariantProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) > 300 {
+			raw = raw[:300]
+		}
+		s := asfstack.New(asfstack.Options{Cores: 1, Runtime: "Sequential"})
+		var tr *txlib.RBTree
+		s.Setup(func(tx tm.Tx) { tr = txlib.NewRBTree(tx) })
+		ok := true
+		s.M.Run(func(c *sim.CPU) {
+			tx := tm.Direct(c, s.Heap)
+			for _, op := range raw {
+				k := uint64(op & 0x7F)
+				if op>>7&1 == 0 {
+					tr.Insert(tx, k, 0)
+				} else {
+					tr.Remove(tx, k)
+				}
+			}
+			_, ok = tr.CheckInvariants(tx)
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+package txlib
+
+import (
+	"asfstack/internal/mem"
+	"asfstack/internal/tm"
+)
+
+// Queue is a transactional FIFO of words (intruder's packet and task
+// queues). Head and tail pointers live on separate cache lines so
+// producers and consumers only conflict when the queue is near-empty.
+// Nodes are 16 bytes (next, value), packed.
+type Queue struct {
+	head mem.Addr // line 0: head pointer
+	tail mem.Addr // line 1: tail pointer
+}
+
+// NewQueue builds an empty queue.
+func NewQueue(tx tm.Tx) *Queue {
+	base := tx.AllocLines(2)
+	q := &Queue{head: base, tail: base + mem.LineSize}
+	tx.Store(q.head, 0)
+	tx.Store(q.tail, 0)
+	return q
+}
+
+// Push appends v.
+func (q *Queue) Push(tx tm.Tx, v mem.Word) {
+	tx.CPU().Exec(8)
+	n := tx.Alloc(16)
+	tx.Store(field(n, 0), 0)
+	tx.Store(field(n, 1), v)
+	tail := mem.Addr(tx.Load(q.tail))
+	if tail == 0 {
+		tx.Store(q.head, mem.Word(n))
+	} else {
+		tx.Store(field(tail, 0), mem.Word(n))
+	}
+	tx.Store(q.tail, mem.Word(n))
+}
+
+// Pop removes and returns the oldest element; ok=false if empty.
+func (q *Queue) Pop(tx tm.Tx) (v mem.Word, ok bool) {
+	tx.CPU().Exec(8)
+	head := mem.Addr(tx.Load(q.head))
+	if head == 0 {
+		return 0, false
+	}
+	v = tx.Load(field(head, 1))
+	next := tx.Load(field(head, 0))
+	tx.Store(q.head, next)
+	if next == 0 {
+		tx.Store(q.tail, 0)
+	}
+	tx.Free(head)
+	return v, true
+}
+
+// Empty reports whether the queue has no elements.
+func (q *Queue) Empty(tx tm.Tx) bool {
+	return tx.Load(q.head) == 0
+}

@@ -1,0 +1,122 @@
+package txlib
+
+import (
+	"asfstack/internal/mem"
+	"asfstack/internal/tm"
+)
+
+// SkipList is a probabilistic sorted set — the IntegerSet skip-list
+// workload. Node layout (one cache line):
+//
+//	word 0: key
+//	word 1: level (1..MaxLevel)
+//	word 2+i: next pointer at level i
+//
+// MaxLevel is 6 so a node fits exactly one line (8 words): one node, one
+// unit of ASF capacity.
+type SkipList struct {
+	head mem.Addr
+}
+
+// SkipMaxLevel is the maximum tower height.
+const SkipMaxLevel = 6
+
+const (
+	skipKey   = 0
+	skipLevel = 1
+	skipNext0 = 2
+)
+
+// NewSkipList builds an empty skip list.
+func NewSkipList(tx tm.Tx) *SkipList {
+	head := tx.AllocLines(1)
+	tx.Store(field(head, skipLevel), SkipMaxLevel)
+	for i := 0; i < SkipMaxLevel; i++ {
+		tx.Store(field(head, skipNext0+i), 0)
+	}
+	return &SkipList{head: head}
+}
+
+// randomLevel draws a geometric(1/2) tower height.
+func randomLevel(tx tm.Tx) int {
+	tx.CPU().Exec(8)
+	lvl := 1
+	r := tx.CPU().Rand().Uint64()
+	for lvl < SkipMaxLevel && r&1 == 1 {
+		lvl++
+		r >>= 1
+	}
+	return lvl
+}
+
+// findPrevs fills prevs with the rightmost node at each level whose key is
+// < k, and returns the candidate node at level 0 (or 0).
+func (s *SkipList) findPrevs(tx tm.Tx, k uint64, prevs *[SkipMaxLevel]mem.Addr) mem.Addr {
+	c := tx.CPU()
+	x := s.head
+	for i := SkipMaxLevel - 1; i >= 0; i-- {
+		for {
+			c.Exec(7)
+			next := mem.Addr(tx.Load(field(x, skipNext0+i)))
+			if next == 0 || uint64(tx.Load(field(next, skipKey))) >= k {
+				break
+			}
+			x = next
+		}
+		prevs[i] = x
+	}
+	return mem.Addr(tx.Load(field(x, skipNext0)))
+}
+
+// Contains reports whether k is in the set.
+func (s *SkipList) Contains(tx tm.Tx, k uint64) bool {
+	var prevs [SkipMaxLevel]mem.Addr
+	cur := s.findPrevs(tx, k, &prevs)
+	return cur != 0 && uint64(tx.Load(field(cur, skipKey))) == k
+}
+
+// Insert adds k, returning false if already present.
+func (s *SkipList) Insert(tx tm.Tx, k uint64) bool {
+	var prevs [SkipMaxLevel]mem.Addr
+	cur := s.findPrevs(tx, k, &prevs)
+	if cur != 0 && uint64(tx.Load(field(cur, skipKey))) == k {
+		return false
+	}
+	lvl := randomLevel(tx)
+	n := tx.AllocLines(1)
+	tx.Store(field(n, skipKey), mem.Word(k))
+	tx.Store(field(n, skipLevel), mem.Word(lvl))
+	for i := 0; i < lvl; i++ {
+		tx.Store(field(n, skipNext0+i), tx.Load(field(prevs[i], skipNext0+i)))
+		tx.Store(field(prevs[i], skipNext0+i), mem.Word(n))
+	}
+	return true
+}
+
+// Remove deletes k, returning false if absent.
+func (s *SkipList) Remove(tx tm.Tx, k uint64) bool {
+	var prevs [SkipMaxLevel]mem.Addr
+	cur := s.findPrevs(tx, k, &prevs)
+	if cur == 0 || uint64(tx.Load(field(cur, skipKey))) != k {
+		return false
+	}
+	lvl := int(tx.Load(field(cur, skipLevel)))
+	for i := 0; i < lvl; i++ {
+		if mem.Addr(tx.Load(field(prevs[i], skipNext0+i))) == cur {
+			tx.Store(field(prevs[i], skipNext0+i), tx.Load(field(cur, skipNext0+i)))
+		}
+	}
+	tx.Store(field(cur, skipNext0), ^mem.Word(0)) // poison
+	tx.Free(cur)
+	return true
+}
+
+// Size counts elements at level 0 (verification).
+func (s *SkipList) Size(tx tm.Tx) int {
+	n := 0
+	for cur := mem.Addr(tx.Load(field(s.head, skipNext0))); cur != 0; {
+		n++
+		cur = mem.Addr(tx.Load(field(cur, skipNext0)))
+	}
+	return n
+}

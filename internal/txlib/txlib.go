@@ -1,0 +1,46 @@
+// Package txlib provides transactional data structures laid out in
+// simulated memory and operated through the TM ABI (tm.Tx): sorted linked
+// list, skip list, red-black tree, hash set/map, FIFO queue, and word
+// arrays. These are the structures behind the IntegerSet microbenchmarks
+// and the STAMP applications in the paper's evaluation.
+//
+// Layout conventions:
+//
+//   - every structure's entry point (head/root/bucket array) is padded to
+//     whole cache lines, the paper's discipline for avoiding false-sharing
+//     contention aborts (§5, footnote 11);
+//   - list, skip-list and tree nodes occupy one full line each, so one
+//     node costs exactly one unit of ASF capacity — which is what makes
+//     the capacity figures (Fig. 5/7/8) meaningful;
+//   - hash buckets are 16 bytes (packed four to a line), matching the
+//     hash-set geometry the paper reports (2^17 buckets, 16 B/bucket).
+//
+// All operations charge compute cycles through tx.CPU().Exec so that the
+// instrumented-application-code category of the overhead breakdown
+// (Fig. 9 / Table 1) reflects real traversal work.
+package txlib
+
+import (
+	"asfstack/internal/mem"
+	"asfstack/internal/tm"
+)
+
+// field returns the address of 8-byte field i of a record at base.
+func field(base mem.Addr, i int) mem.Addr {
+	return base + mem.Addr(i*mem.WordSize)
+}
+
+// releaser is implemented by TM handles that support ASF early release
+// (asftm.Tx). Structures that can exploit hand-over-hand protection probe
+// for it; on other runtimes release is a no-op.
+type releaser interface {
+	Release(a mem.Addr)
+}
+
+// release drops a from the transaction's read set if the runtime supports
+// early release.
+func release(tx tm.Tx, a mem.Addr) {
+	if r, ok := tx.(releaser); ok {
+		r.Release(a)
+	}
+}

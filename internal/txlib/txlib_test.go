@@ -1,0 +1,365 @@
+package txlib_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"asfstack"
+	"asfstack/internal/sim"
+	"asfstack/internal/tm"
+	"asfstack/internal/txlib"
+)
+
+// set is the common interface of the four IntegerSet structures.
+type set interface {
+	Contains(tx tm.Tx, k uint64) bool
+	Insert(tx tm.Tx, k uint64) bool
+	Remove(tx tm.Tx, k uint64) bool
+	Size(tx tm.Tx) int
+}
+
+// rbAsSet adapts RBTree's map API to the set interface.
+type rbAsSet struct{ t *txlib.RBTree }
+
+func (s rbAsSet) Contains(tx tm.Tx, k uint64) bool { return s.t.Contains(tx, k) }
+func (s rbAsSet) Insert(tx tm.Tx, k uint64) bool   { return s.t.Insert(tx, k, 0) }
+func (s rbAsSet) Remove(tx tm.Tx, k uint64) bool   { return s.t.Remove(tx, k) }
+func (s rbAsSet) Size(tx tm.Tx) int                { return s.t.Size(tx) }
+
+func builders() map[string]func(tx tm.Tx) set {
+	return map[string]func(tx tm.Tx) set{
+		"list":     func(tx tm.Tx) set { return txlib.NewList(tx) },
+		"skiplist": func(tx tm.Tx) set { return txlib.NewSkipList(tx) },
+		"rbtree":   func(tx tm.Tx) set { return rbAsSet{txlib.NewRBTree(tx)} },
+		"hashset":  func(tx tm.Tx) set { return txlib.NewHashSet(tx, 8) },
+	}
+}
+
+// TestSetsMatchOracle drives each structure with a random operation mix on
+// the sequential runtime and compares every result against a Go map.
+func TestSetsMatchOracle(t *testing.T) {
+	for name, build := range builders() {
+		t.Run(name, func(t *testing.T) {
+			s := asfstack.New(asfstack.Options{Cores: 1, Runtime: "Sequential"})
+			var ds set
+			s.Setup(func(tx tm.Tx) { ds = build(tx) })
+			oracle := map[uint64]bool{}
+			rng := rand.New(rand.NewSource(7))
+			s.M.Run(func(c *sim.CPU) {
+				tx := tm.Direct(c, s.Heap)
+				for i := 0; i < 3000; i++ {
+					k := uint64(rng.Intn(256))
+					switch rng.Intn(3) {
+					case 0:
+						want := !oracle[k]
+						if got := ds.Insert(tx, k); got != want {
+							t.Fatalf("%s Insert(%d) = %v, want %v (op %d)", name, k, got, want, i)
+						}
+						oracle[k] = true
+					case 1:
+						want := oracle[k]
+						if got := ds.Remove(tx, k); got != want {
+							t.Fatalf("%s Remove(%d) = %v, want %v (op %d)", name, k, got, want, i)
+						}
+						delete(oracle, k)
+					default:
+						if got := ds.Contains(tx, k); got != oracle[k] {
+							t.Fatalf("%s Contains(%d) = %v, want %v (op %d)", name, k, got, oracle[k], i)
+						}
+					}
+				}
+				if got := ds.Size(tx); got != len(oracle) {
+					t.Fatalf("%s Size = %d, want %d", name, got, len(oracle))
+				}
+			})
+		})
+	}
+}
+
+// TestRBTreeInvariants checks the red-black properties hold after every
+// batch of random mutations.
+func TestRBTreeInvariants(t *testing.T) {
+	s := asfstack.New(asfstack.Options{Cores: 1, Runtime: "Sequential"})
+	var tr *txlib.RBTree
+	s.Setup(func(tx tm.Tx) { tr = txlib.NewRBTree(tx) })
+	rng := rand.New(rand.NewSource(11))
+	s.M.Run(func(c *sim.CPU) {
+		tx := tm.Direct(c, s.Heap)
+		for round := 0; round < 30; round++ {
+			for i := 0; i < 100; i++ {
+				k := uint64(rng.Intn(512))
+				if rng.Intn(2) == 0 {
+					tr.Insert(tx, k, mem0(k))
+				} else {
+					tr.Remove(tx, k)
+				}
+			}
+			if _, ok := tr.CheckInvariants(tx); !ok {
+				t.Fatalf("red-black invariants violated after round %d", round)
+			}
+		}
+	})
+}
+
+func mem0(k uint64) uint64 { return k * 3 }
+
+// TestSetsConcurrentDisjoint has each thread insert then remove its own key
+// range on every runtime; the structure must end empty with every
+// intermediate lookup correct.
+func TestSetsConcurrentDisjoint(t *testing.T) {
+	const threads, perThread = 4, 40
+	for name, build := range builders() {
+		for _, rt := range []string{"LLB-256", "LLB-8 w/ L1", "STM"} {
+			t.Run(name+"/"+rt, func(t *testing.T) {
+				s := asfstack.New(asfstack.Options{Cores: threads, Runtime: rt})
+				var ds set
+				s.Setup(func(tx tm.Tx) { ds = build(tx) })
+				errs := make([]int, threads)
+				s.Parallel(threads, func(c *sim.CPU) {
+					base := uint64(c.ID() * 1000)
+					for i := uint64(0); i < perThread; i++ {
+						s.Atomic(c, func(tx tm.Tx) {
+							if !ds.Insert(tx, base+i) {
+								errs[c.ID()]++
+							}
+						})
+					}
+					for i := uint64(0); i < perThread; i++ {
+						s.Atomic(c, func(tx tm.Tx) {
+							if !ds.Contains(tx, base+i) {
+								errs[c.ID()]++
+							}
+						})
+					}
+					for i := uint64(0); i < perThread; i++ {
+						s.Atomic(c, func(tx tm.Tx) {
+							if !ds.Remove(tx, base+i) {
+								errs[c.ID()]++
+							}
+						})
+					}
+				})
+				for id, e := range errs {
+					if e != 0 {
+						t.Fatalf("thread %d saw %d wrong results", id, e)
+					}
+				}
+				s.Setup(func(tx tm.Tx) {
+					if got := ds.Size(tx); got != 0 {
+						t.Fatalf("final size = %d, want 0", got)
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestSetsConcurrentContended runs a contended random mix and then checks
+// the structure's size against the net successful inserts/removes.
+func TestSetsConcurrentContended(t *testing.T) {
+	const threads, ops, keyRange = 4, 150, 64
+	for name, build := range builders() {
+		for _, rt := range []string{"LLB-256", "STM"} {
+			t.Run(name+"/"+rt, func(t *testing.T) {
+				s := asfstack.New(asfstack.Options{Cores: threads, Runtime: rt})
+				var ds set
+				s.Setup(func(tx tm.Tx) { ds = build(tx) })
+				net := make([]int, threads)
+				s.Parallel(threads, func(c *sim.CPU) {
+					rng := c.Rand()
+					for i := 0; i < ops; i++ {
+						k := uint64(rng.Intn(keyRange))
+						if rng.Intn(2) == 0 {
+							ok := false
+							s.Atomic(c, func(tx tm.Tx) {
+								ok = ds.Insert(tx, k)
+							})
+							if ok {
+								net[c.ID()]++
+							}
+						} else {
+							ok := false
+							s.Atomic(c, func(tx tm.Tx) {
+								ok = ds.Remove(tx, k)
+							})
+							if ok {
+								net[c.ID()]--
+							}
+						}
+					}
+				})
+				want := 0
+				for _, n := range net {
+					want += n
+				}
+				s.Setup(func(tx tm.Tx) {
+					if got := ds.Size(tx); got != want {
+						t.Fatalf("size = %d, want net %d", got, want)
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestListEarlyReleaseCorrectness stresses the hand-over-hand list on the
+// 8-entry LLB, where early release is what makes hardware commits possible.
+func TestListEarlyReleaseCorrectness(t *testing.T) {
+	const threads, ops, keyRange = 4, 150, 48
+	s := asfstack.New(asfstack.Options{Cores: threads, Runtime: "LLB-8"})
+	var l *txlib.List
+	s.Setup(func(tx tm.Tx) {
+		l = txlib.NewList(tx)
+		l.EarlyRelease = true
+		for k := uint64(0); k < keyRange; k += 2 {
+			l.Insert(tx, k)
+		}
+	})
+	net := make([]int, threads)
+	s.Parallel(threads, func(c *sim.CPU) {
+		rng := c.Rand()
+		for i := 0; i < ops; i++ {
+			k := uint64(rng.Intn(keyRange))
+			if rng.Intn(2) == 0 {
+				ok := false
+				s.Atomic(c, func(tx tm.Tx) { ok = l.Insert(tx, k) })
+				if ok {
+					net[c.ID()]++
+				}
+			} else {
+				ok := false
+				s.Atomic(c, func(tx tm.Tx) { ok = l.Remove(tx, k) })
+				if ok {
+					net[c.ID()]--
+				}
+			}
+		}
+	})
+	want := int(keyRange / 2)
+	for _, n := range net {
+		want += n
+	}
+	s.Setup(func(tx tm.Tx) {
+		keys := l.Keys(tx)
+		if len(keys) != want {
+			t.Fatalf("size = %d, want %d", len(keys), want)
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				t.Fatalf("list unsorted at %d: %v >= %v", i, keys[i-1], keys[i])
+			}
+		}
+	})
+	st := s.TotalStats()
+	if st.Serial > st.Commits/2 {
+		t.Errorf("early release ineffective: %d/%d commits serial", st.Serial, st.Commits)
+	}
+}
+
+// TestQueueFIFO checks ordering and conservation.
+func TestQueueFIFO(t *testing.T) {
+	s := asfstack.New(asfstack.Options{Cores: 1, Runtime: "Sequential"})
+	var q *txlib.Queue
+	s.Setup(func(tx tm.Tx) { q = txlib.NewQueue(tx) })
+	s.M.Run(func(c *sim.CPU) {
+		tx := tm.Direct(c, s.Heap)
+		for i := 0; i < 50; i++ {
+			q.Push(tx, uint64(i))
+		}
+		for i := 0; i < 50; i++ {
+			v, ok := q.Pop(tx)
+			if !ok || v != uint64(i) {
+				t.Fatalf("Pop %d = (%d,%v)", i, v, ok)
+			}
+		}
+		if _, ok := q.Pop(tx); ok {
+			t.Fatal("Pop on empty succeeded")
+		}
+	})
+}
+
+// TestQueueConcurrent: producers and consumers conserve elements.
+func TestQueueConcurrent(t *testing.T) {
+	const threads, items = 4, 60
+	for _, rt := range []string{"LLB-256", "STM"} {
+		t.Run(rt, func(t *testing.T) {
+			s := asfstack.New(asfstack.Options{Cores: threads, Runtime: rt})
+			var q *txlib.Queue
+			s.Setup(func(tx tm.Tx) { q = txlib.NewQueue(tx) })
+			popped := make([]int, threads)
+			s.Parallel(threads, func(c *sim.CPU) {
+				if c.ID()%2 == 0 { // producer
+					for i := 0; i < items; i++ {
+						s.Atomic(c, func(tx tm.Tx) {
+							q.Push(tx, uint64(c.ID()*10000+i))
+						})
+					}
+				} else { // consumer
+					for popped[c.ID()] < items {
+						got := false
+						s.Atomic(c, func(tx tm.Tx) {
+							_, got = q.Pop(tx)
+						})
+						if got {
+							popped[c.ID()]++
+						} else {
+							c.Cycles(500)
+						}
+					}
+				}
+			})
+			total := 0
+			for _, p := range popped {
+				total += p
+			}
+			if total != (threads/2)*items {
+				t.Fatalf("popped %d, want %d", total, (threads/2)*items)
+			}
+		})
+	}
+}
+
+// TestHashMapSemantics exercises the map variant against an oracle.
+func TestHashMapSemantics(t *testing.T) {
+	s := asfstack.New(asfstack.Options{Cores: 1, Runtime: "Sequential"})
+	var h *txlib.HashMap
+	s.Setup(func(tx tm.Tx) { h = txlib.NewHashMap(tx, 6) })
+	oracle := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(3))
+	s.M.Run(func(c *sim.CPU) {
+		tx := tm.Direct(c, s.Heap)
+		for i := 0; i < 2000; i++ {
+			k := uint64(rng.Intn(128))
+			switch rng.Intn(4) {
+			case 0:
+				v := rng.Uint64() % 1000
+				_, existed := oracle[k]
+				if isNew := h.Put(tx, k, v); isNew == existed {
+					t.Fatalf("Put(%d) new=%v, want %v", k, isNew, !existed)
+				}
+				oracle[k] = v
+			case 1:
+				_, existed := oracle[k]
+				if ok := h.PutIfAbsent(tx, k, 42); ok == existed {
+					t.Fatalf("PutIfAbsent(%d) = %v", k, ok)
+				}
+				if !existed {
+					oracle[k] = 42
+				}
+			case 2:
+				wantV, want := oracle[k]
+				v, ok := h.Remove(tx, k)
+				if ok != want || (ok && v != wantV) {
+					t.Fatalf("Remove(%d) = (%d,%v), want (%d,%v)", k, v, ok, wantV, want)
+				}
+				delete(oracle, k)
+			default:
+				wantV, want := oracle[k]
+				v, ok := h.Get(tx, k)
+				if ok != want || (ok && v != wantV) {
+					t.Fatalf("Get(%d) = (%d,%v), want (%d,%v)", k, v, ok, wantV, want)
+				}
+			}
+		}
+	})
+}

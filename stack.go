@@ -1,0 +1,165 @@
+// Package asfstack assembles the complete transactional memory stack the
+// paper evaluates: the simulated multicore machine (package sim), AMD's
+// Advanced Synchronization Facility (package asf), the ASF-TM runtime
+// (package asftm) with its serial-irrevocable fallback, the TinySTM
+// baseline (package stm), and the uninstrumented sequential baseline
+// (package seq) — all behind the portable TM ABI of package tm.
+//
+// A Stack is one configured machine plus one TM runtime. Programs are
+// thread bodies that run atomic blocks:
+//
+//	s := asfstack.New(asfstack.Options{Cores: 4, Runtime: "LLB-256"})
+//	ctr := s.AllocLines(1)
+//	s.Parallel(4, func(c *sim.CPU) {
+//	    for i := 0; i < 1000; i++ {
+//	        s.RT.Atomic(c, func(tx tm.Tx) {
+//	            tx.Store(ctr, tx.Load(ctr)+1)
+//	        })
+//	    }
+//	})
+package asfstack
+
+import (
+	"fmt"
+
+	"asfstack/internal/asf"
+	"asfstack/internal/asftm"
+	"asfstack/internal/mem"
+	"asfstack/internal/seq"
+	"asfstack/internal/sim"
+	"asfstack/internal/stm"
+	"asfstack/internal/tm"
+)
+
+// RuntimeNames lists the accepted Options.Runtime values, in the order the
+// paper's figures use them.
+var RuntimeNames = []string{
+	"LLB-8", "LLB-256", "LLB-8 w/ L1", "LLB-256 w/ L1", "STM", "Sequential",
+}
+
+// Options configures a Stack.
+type Options struct {
+	// Cores is the number of simulated cores (the paper's machine has 8).
+	Cores int
+	// Runtime selects the TM implementation by figure label: one of
+	// RuntimeNames.
+	Runtime string
+	// Seed makes runs reproducible; 0 selects the default.
+	Seed int64
+	// HeapPerCore sizes each core's allocation arena in bytes
+	// (default 64 MiB).
+	HeapPerCore uint64
+	// Machine, if non-nil, overrides the default Barcelona configuration
+	// (Cores and Seed above still apply).
+	Machine *sim.Config
+}
+
+// Stack is one simulated machine with one TM runtime installed.
+type Stack struct {
+	M      *sim.Machine
+	Layout *mem.Layout
+	Heap   *tm.Heap
+	// ASF is the installed ASF system, or nil for the STM and
+	// sequential runtimes (which run on the bare machine).
+	ASF *asf.System
+	// ASFTM is the ASF-TM runtime when Runtime selected one, else nil.
+	ASFTM *asftm.Runtime
+	// RT is the selected runtime behind the portable ABI.
+	RT tm.Runtime
+}
+
+// New builds a stack. It panics on configuration errors (these are
+// programming mistakes, not runtime conditions).
+func New(opts Options) *Stack {
+	if opts.Cores <= 0 {
+		opts.Cores = 1
+	}
+	if opts.HeapPerCore == 0 {
+		opts.HeapPerCore = 64 << 20
+	}
+	cfg := sim.Barcelona(opts.Cores)
+	if opts.Machine != nil {
+		cfg = *opts.Machine
+		cfg.Cores = opts.Cores
+	}
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	m := sim.New(cfg)
+	layout := mem.NewLayout(mem.PageSize) // skip page zero
+	heap := tm.NewHeap(m.Mem, layout, opts.Cores, opts.HeapPerCore)
+
+	s := &Stack{M: m, Layout: layout, Heap: heap}
+	switch opts.Runtime {
+	case "STM":
+		s.RT = stm.New(m, heap, layout)
+	case "Sequential", "":
+		s.RT = seq.New(heap, opts.Cores)
+	default:
+		v, err := asf.VariantByName(opts.Runtime)
+		if err != nil {
+			panic(fmt.Sprintf("asfstack: %v (want one of %v)", err, RuntimeNames))
+		}
+		s.ASF = asf.Install(m, v)
+		s.ASFTM = asftm.New(s.ASF, heap, m, layout)
+		s.RT = s.ASFTM
+	}
+	return s
+}
+
+// AllocShared allocates size bytes of prefaulted shared memory for initial
+// data (setup phase; charges no cycles). The allocation is padded to whole
+// cache lines, the paper's anti-false-sharing discipline for the entry
+// points of the main data structures.
+func (s *Stack) AllocShared(size uint64) mem.Addr {
+	a := s.Heap.SetupAlloc(0, alignUp(size, mem.LineSize), mem.LineSize)
+	return a
+}
+
+// Parallel runs one thread body on each of n cores to completion and
+// returns the simulated duration in cycles.
+func (s *Stack) Parallel(n int, body func(c *sim.CPU)) uint64 {
+	bodies := make([]func(*sim.CPU), n)
+	for i := range bodies {
+		bodies[i] = body
+	}
+	return s.M.Run(bodies...)
+}
+
+// Setup runs body on core 0 with a direct (uninstrumented, plain-access)
+// transaction handle — for building initial data sets before the measured
+// phase. Simulated time advances but is outside any measurement window.
+func (s *Stack) Setup(body func(tx tm.Tx)) {
+	s.M.Run(func(c *sim.CPU) {
+		body(tm.Direct(c, s.Heap))
+	})
+}
+
+// BeginMeasured marks the boundary between setup and the measured phase:
+// core clocks are aligned, private caches are flushed to L3 (the state at
+// PTLsim's native-to-simulated switchover), and all statistics are reset.
+// It returns the common start time in cycles.
+func (s *Stack) BeginMeasured() uint64 {
+	for i := 0; i < s.M.Config().Cores; i++ {
+		s.M.Hier.FlushPrivate(i)
+		s.M.Hier.FlushTLB(i)
+	}
+	start := s.M.SyncClocks()
+	s.M.ResetAllCounters()
+	s.RT.ResetStats()
+	return start
+}
+
+// Atomic is shorthand for s.RT.Atomic.
+func (s *Stack) Atomic(c *sim.CPU, body func(tx tm.Tx)) { s.RT.Atomic(c, body) }
+
+// TotalStats sums the runtime's per-core statistics.
+func (s *Stack) TotalStats() tm.Stats {
+	var t tm.Stats
+	for i := 0; i < s.M.Config().Cores; i++ {
+		t.Add(s.RT.Stats(i))
+	}
+	return t
+}
+
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }

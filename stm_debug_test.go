@@ -1,0 +1,44 @@
+package asfstack
+
+import (
+	"testing"
+
+	"asfstack/internal/mem"
+	"asfstack/internal/sim"
+	"asfstack/internal/stm"
+	"asfstack/internal/tm"
+)
+
+func TestSTMDebugNoSerial(t *testing.T) {
+	const threads, accounts, transfers, initBal = 4, 16, 300, 1000
+	s := New(Options{Cores: threads, Runtime: "STM"})
+	cfg := stm.DefaultConfig()
+	cfg.MaxRetriesBeforeSerial = 1 << 30 // never go serial
+	s.RT.(*stm.Runtime).SetConfig(cfg)
+	base := s.AllocShared(accounts * mem.LineSize)
+	acct := func(i int) mem.Addr { return base + mem.Addr(i*mem.LineSize) }
+	for i := 0; i < accounts; i++ {
+		s.M.Mem.Store(acct(i), initBal)
+	}
+	s.Parallel(threads, func(c *sim.CPU) {
+		rng := c.Rand()
+		for i := 0; i < transfers; i++ {
+			from, to := rng.Intn(accounts), rng.Intn(accounts)
+			amt := mem.Word(rng.Intn(50))
+			s.Atomic(c, func(tx tm.Tx) {
+				f := tx.Load(acct(from))
+				tx.Store(acct(from), f-amt)
+				tx.Store(acct(to), tx.Load(acct(to))+amt)
+			})
+		}
+	})
+	var sum mem.Word
+	for i := 0; i < accounts; i++ {
+		sum += s.M.Mem.Load(acct(i))
+	}
+	st := s.TotalStats()
+	t.Logf("commits=%d stmAborts=%d serial=%d", st.Commits, st.STMAborts, st.Serial)
+	if sum != accounts*initBal {
+		t.Fatalf("total = %d, want %d", sum, accounts*initBal)
+	}
+}
