@@ -1,0 +1,25 @@
+# Tier-1 verification targets. `make verify` is what CI and pre-merge
+# checks run: build + vet + full tests, plus the race detector on the two
+# packages with real host concurrency (the parallel experiment scheduler
+# and the TM runtime it drives).
+
+GO ?= go
+
+.PHONY: build vet test race verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/harness ./internal/asftm
+
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x

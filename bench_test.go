@@ -30,7 +30,9 @@ const benchScale = 0.125 // figure sweeps are large; benches run them small
 // BenchmarkFig3 — simulator accuracy sweep (8 STAMP configs × 2 machines).
 func BenchmarkFig3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		harness.Fig3(benchScale, nil)
+		if _, err := harness.Fig3(harness.Options{Scale: benchScale}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -38,7 +40,9 @@ func BenchmarkFig3(b *testing.B) {
 // counts + sequential bars).
 func BenchmarkFig4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		harness.Fig4(benchScale, nil)
+		if _, err := harness.Fig4(harness.Options{Scale: benchScale}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -46,35 +50,45 @@ func BenchmarkFig4(b *testing.B) {
 // thread counts).
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		harness.Fig5(benchScale, nil)
+		if _, err := harness.Fig5(harness.Options{Scale: benchScale}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 // BenchmarkFig6 — abort-reason breakdown sweep.
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		harness.Fig6(benchScale, nil)
+		if _, err := harness.Fig6(harness.Options{Scale: benchScale}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 // BenchmarkFig7 — capacity sweep (list and red-black tree size series).
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		harness.Fig7(benchScale, nil)
+		if _, err := harness.Fig7(harness.Options{Scale: benchScale}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 // BenchmarkFig8 — early-release sweep.
 func BenchmarkFig8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		harness.Fig8(benchScale, nil)
+		if _, err := harness.Fig8(harness.Options{Scale: benchScale}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 // BenchmarkTable1 — single-thread overhead breakdown (and Fig. 9).
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		harness.Table1(benchScale, nil)
+		if _, err := harness.Table1(harness.Options{Scale: benchScale}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -86,7 +100,10 @@ func benchIntset(b *testing.B, cfg intset.Config) {
 	var thr float64
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		r := intset.Run(cfg)
+		r, err := intset.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		thr = r.Throughput()
 	}
 	b.ReportMetric(thr, "simtx/us")
@@ -194,9 +211,12 @@ func BenchmarkAblationVariants(b *testing.B) {
 			var thr float64
 			var serialPct float64
 			for i := 0; i < b.N; i++ {
-				r := intset.Run(intset.Config{Structure: "rbtree", Runtime: rt,
+				r, err := intset.Run(intset.Config{Structure: "rbtree", Runtime: rt,
 					Threads: 8, Range: 512, UpdatePct: 20, OpsPerThread: 300,
 					Seed: int64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
 				thr = r.Throughput()
 				serialPct = float64(r.Stats.Serial) / float64(r.Stats.Commits) * 100
 			}

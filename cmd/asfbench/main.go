@@ -6,10 +6,17 @@
 //
 //	asfbench -experiment fig4          # one figure
 //	asfbench -experiment all           # everything (slow)
-//	asfbench -experiment fig5 -scale 0.25 -v
+//	asfbench -experiment fig5 -scale 0.25 -parallel 8 -v
 //
 // Scale shrinks the workload sizes proportionally; 1.0 is the reported
-// configuration. -v streams per-run progress to stderr.
+// configuration. Each experiment decomposes into independent cells (one
+// simulated machine each) that -parallel host goroutines run concurrently;
+// tables are byte-identical for every -parallel value. -v streams per-cell
+// progress to stderr.
+//
+// A failing cell does not kill the run: its table entries read "ERR", the
+// failure is reported per cell on stderr, and the exit status is 1. Exit
+// status 2 means the invocation itself was bad (unknown experiment).
 package main
 
 import (
@@ -17,7 +24,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"asfstack/internal/harness"
 )
@@ -26,7 +35,9 @@ func main() {
 	exp := flag.String("experiment", "all",
 		"experiment to run: "+strings.Join(harness.Names, ", ")+", or all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = reported configuration)")
-	verbose := flag.Bool("v", false, "stream per-run progress to stderr")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"experiment cells run concurrently (host goroutines)")
+	verbose := flag.Bool("v", false, "stream per-cell progress to stderr")
 	flag.Parse()
 
 	var prog io.Writer = io.Discard
@@ -38,14 +49,30 @@ func main() {
 	if *exp != "all" {
 		names = strings.Split(*exp, ",")
 	}
+	exit := 0
 	for _, name := range names {
-		tables, err := harness.Run(strings.TrimSpace(name), *scale, prog)
-		if err != nil {
+		name = strings.TrimSpace(name)
+		start := time.Now()
+		tables, err := harness.Run(name, harness.Options{
+			Scale:    *scale,
+			Parallel: *parallel,
+			Progress: prog,
+		})
+		if tables == nil && err != nil {
 			fmt.Fprintln(os.Stderr, "asfbench:", err)
 			os.Exit(2)
 		}
 		for _, t := range tables {
 			t.Fprint(os.Stdout)
 		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "asfbench: %s: some cells failed:\n%v\n", name, err)
+			exit = 1
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "asfbench: %s done in %v (parallel=%d)\n",
+				name, time.Since(start).Round(time.Millisecond), *parallel)
+		}
 	}
+	os.Exit(exit)
 }

@@ -34,11 +34,15 @@ func main() {
 
 	switch *workload {
 	case "intset":
-		r := intset.Run(intset.Config{
+		r, err := intset.Run(intset.Config{
 			Structure: *structure, Runtime: *runtimeName, Threads: *threads,
 			Range: *keyRange, UpdatePct: *update, OpsPerThread: *ops,
 			EarlyRelease: *early, Seed: *seed,
 		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asfsim:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("workload     intset %s (range=%d, %d%% upd, %d threads)\n",
 			*structure, *keyRange, *update, *threads)
 		fmt.Printf("runtime      %s\n", *runtimeName)

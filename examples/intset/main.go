@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"asfstack/internal/intset"
 )
@@ -31,11 +32,15 @@ func main() {
 		{"LLB-256, no early release", "LLB-256", false},
 		{"STM", "STM", false},
 	} {
-		r := intset.Run(intset.Config{
+		r, err := intset.Run(intset.Config{
 			Structure: "linkedlist", Runtime: v.runtime, Threads: *threads,
 			Range: uint64(2 * *size), InitialSize: *size, UpdatePct: 20,
 			OpsPerThread: *ops, EarlyRelease: v.earlyRelease,
 		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "intset:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("%-26s %6.2f tx/µs   serial %5.1f%%   aborts %d\n",
 			v.label, r.Throughput(),
 			float64(r.Stats.Serial)/float64(r.Stats.Commits)*100,

@@ -113,12 +113,12 @@ const (
 // pipeline; ABORT additionally restores LLB backups (per-line cost charged
 // separately).
 const (
-	SpeculateCost   = 10
-	CommitCost      = 14
-	AbortBaseCost   = 30
-	AbortPerLine    = 4 // write-back of one LLB backup line
-	WatchCost       = 0 // charged as the underlying probe access
-	ReleaseCost     = 2
-	NestedSpecCost  = 2 // nested SPECULATE just bumps the depth counter
-	NestedComitCost = 2
+	SpeculateCost    = 10
+	CommitCost       = 14
+	AbortBaseCost    = 30
+	AbortPerLine     = 4 // write-back of one LLB backup line
+	WatchCost        = 0 // charged as the underlying probe access
+	ReleaseCost      = 2
+	NestedSpecCost   = 2 // nested SPECULATE just bumps the depth counter
+	NestedCommitCost = 2
 )

@@ -106,7 +106,7 @@ func (u *Unit) Region(body func()) (reason sim.AbortReason, code uint64) {
 
 	if nested {
 		body()
-		u.c.SpecOp(NestedComitCost, func() { u.depth-- })
+		u.c.SpecOp(NestedCommitCost, func() { u.depth-- })
 		return sim.AbortNone, 0
 	}
 

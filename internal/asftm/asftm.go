@@ -192,7 +192,7 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 			st.Aborts[reason]++
 		}
 
-		if serial || attempts > r.cfg.MaxHWAttempts {
+		if serial || attempts >= r.cfg.MaxHWAttempts {
 			r.runSerial(c, t, body)
 			return
 		}
@@ -312,7 +312,7 @@ func (t *hwTx) AllocLines(n int) mem.Addr {
 }
 
 // Free implements tm.Tx.
-func (t *hwTx) Free(a mem.Addr) { t.r.heap.Free(t.c) }
+func (t *hwTx) Free(a mem.Addr) { t.r.heap.Free(t.c, a) }
 
 // CPU implements tm.Tx.
 func (t *hwTx) CPU() *sim.CPU { return t.c }

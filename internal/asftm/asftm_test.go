@@ -181,3 +181,37 @@ func TestAbortWasteAccounting(t *testing.T) {
 		t.Fatal("no cycles attributed to abort/restart despite contention")
 	}
 }
+
+// TestMaxHWAttemptsHonored: a transaction that aborts on every hardware
+// attempt must make exactly MaxHWAttempts attempts before falling back to
+// serial-irrevocable mode — the configured bound, not one more (this was
+// an off-by-one: `attempts > max` allowed max+1 attempts).
+func TestMaxHWAttemptsHonored(t *testing.T) {
+	m, r := newRT(t, 1, asf.LLB256)
+	cfg := DefaultConfig()
+	cfg.MaxHWAttempts = 5
+	r.SetConfig(cfg)
+
+	hw, serial := 0, 0
+	m.Run(func(c *sim.CPU) {
+		r.Atomic(c, func(tx tm.Tx) {
+			if tx.Irrevocable() {
+				serial++
+				return
+			}
+			hw++
+			tx.(*Tx).u.Abort(0xDEAD) // retryable explicit abort, no back-off
+		})
+	})
+	if hw != cfg.MaxHWAttempts || serial != 1 {
+		t.Fatalf("hardware attempts = %d, serial runs = %d; want exactly %d and 1",
+			hw, serial, cfg.MaxHWAttempts)
+	}
+	st := r.Stats(0)
+	if st.Commits != 1 || st.Serial != 1 {
+		t.Fatalf("stats = %+v, want one serial commit", st)
+	}
+	if st.Aborts[sim.AbortExplicit] != uint64(cfg.MaxHWAttempts) {
+		t.Fatalf("explicit aborts = %d, want %d", st.Aborts[sim.AbortExplicit], cfg.MaxHWAttempts)
+	}
+}

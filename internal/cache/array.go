@@ -80,10 +80,18 @@ func (a *array) remove(line mem.Addr) {
 	}
 }
 
-// forEach visits every valid entry.
+// forEach visits every valid entry in (set, way) order. Iteration must be
+// deterministic: FlushPrivate refills L3 in this order, and Go map order
+// would leak into L3's LRU state and make measured-phase timings vary from
+// run to run.
 func (a *array) forEach(fn func(*entry)) {
-	for _, e := range a.index {
-		fn(e)
+	for i := range a.sets {
+		set := a.sets[i]
+		for j := range set {
+			if set[j].valid {
+				fn(&set[j])
+			}
+		}
 	}
 }
 

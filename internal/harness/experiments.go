@@ -9,6 +9,13 @@ import (
 	"asfstack/internal/stamp"
 )
 
+// stampRun and intsetRun are the workload entry points, indirected so the
+// scheduler's error handling can be tested with injected failures.
+var (
+	stampRun  = stamp.Run
+	intsetRun = intset.Run
+)
+
 // asfVariants are the four hardware configurations, in figure order.
 func asfVariants() []string {
 	names := make([]string, len(asf.Variants))
@@ -23,57 +30,109 @@ var threadCounts = []int{1, 2, 4, 8}
 // Fig3 — simulator accuracy: single-threaded STAMP without TM, detailed
 // Barcelona model vs the native-reference calibration; reports the
 // per-benchmark deviation (the paper's 10–35% bars).
-func Fig3(scale float64, prog Progress) []*Table {
+func Fig3(o Options) ([]*Table, error) {
+	scale := o.scale()
+	sims := make([]slot[float64], len(stamp.Apps))
+	nats := make([]slot[float64], len(stamp.Apps))
+	var cells []cell
+	for i, app := range stamp.Apps {
+		for _, native := range []bool{false, true} {
+			dst, kind := &sims[i], "sim"
+			if native {
+				dst, kind = &nats[i], "native"
+			}
+			cfg := stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale, Native: native}
+			cells = append(cells, cell{
+				label: fmt.Sprintf("fig3 %-14s %s", app, kind),
+				run: func() (string, error) {
+					r, err := stampRun(cfg)
+					if err != nil {
+						return "", err
+					}
+					dst.set(r.Millis)
+					return fmt.Sprintf("%.3fms", r.Millis), nil
+				},
+			})
+		}
+	}
+	err := runCells(cells, o)
+
 	t := &Table{
 		Title:  "Fig. 3 — simulator accuracy (1 thread, no TM): deviation of simulated vs native-reference runtime",
 		Header: []string{"benchmark", "sim (ms)", "native-ref (ms)", "deviation (%)"},
 		Note:   "paper: 5 of 8 benchmarks within 10–15%; vacation and kmeans deviate most",
 	}
-	for _, app := range stamp.Apps {
-		s, err := stamp.Run(stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale})
-		if err != nil {
-			panic(err)
+	for i, app := range stamp.Apps {
+		if sims[i].ok && nats[i].ok {
+			dev := (sims[i].val - nats[i].val) / nats[i].val * 100
+			t.Add(app, sims[i].val, nats[i].val, dev)
+		} else {
+			t.Add(app, sims[i].cell(), nats[i].cell(), "ERR")
 		}
-		n, err := stamp.Run(stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale, Native: true})
-		if err != nil {
-			panic(err)
-		}
-		dev := (s.Millis - n.Millis) / n.Millis * 100
-		progf(prog, "fig3 %-14s sim=%.3fms native=%.3fms dev=%.1f%%\n", app, s.Millis, n.Millis, dev)
-		t.Add(app, s.Millis, n.Millis, dev)
 	}
-	return []*Table{t}
+	return []*Table{t}, err
 }
 
 // Fig4 — STAMP scalability: execution time (ms) for every application,
 // ASF variants and STM across 1–8 threads, plus the sequential bar.
-func Fig4(scale float64, prog Progress) []*Table {
+func Fig4(o Options) ([]*Table, error) {
+	scale := o.scale()
+	rts := append(asfVariants(), "STM")
+	nR, nT := len(rts), len(threadCounts)
+	ms := make([]slot[float64], len(stamp.Apps)*nR*nT)
+	seq := make([]slot[float64], len(stamp.Apps))
+	var cells []cell
+	for ai, app := range stamp.Apps {
+		for ri, rt := range rts {
+			for ti, th := range threadCounts {
+				dst := &ms[(ai*nR+ri)*nT+ti]
+				cfg := stamp.Config{App: app, Runtime: rt, Threads: th, Scale: scale}
+				cells = append(cells, cell{
+					label: fmt.Sprintf("fig4 %-14s %-14s t=%d", app, rt, th),
+					run: func() (string, error) {
+						r, err := stampRun(cfg)
+						if err != nil {
+							return "", err
+						}
+						dst.set(r.Millis)
+						return fmt.Sprintf("%.3fms", r.Millis), nil
+					},
+				})
+			}
+		}
+		dst := &seq[ai]
+		cfg := stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale}
+		cells = append(cells, cell{
+			label: fmt.Sprintf("fig4 %-14s Sequential     t=1", app),
+			run: func() (string, error) {
+				r, err := stampRun(cfg)
+				if err != nil {
+					return "", err
+				}
+				dst.set(r.Millis)
+				return fmt.Sprintf("%.3fms", r.Millis), nil
+			},
+		})
+	}
+	err := runCells(cells, o)
+
 	var tables []*Table
-	for _, app := range stamp.Apps {
+	for ai, app := range stamp.Apps {
 		t := &Table{
 			Title:  fmt.Sprintf("Fig. 4 — STAMP: %s (execution time, ms; lower is better)", app),
 			Header: []string{"runtime", "1", "2", "4", "8"},
 		}
-		for _, rt := range append(asfVariants(), "STM") {
+		for ri, rt := range rts {
 			row := []any{rt}
-			for _, th := range threadCounts {
-				r, err := stamp.Run(stamp.Config{App: app, Runtime: rt, Threads: th, Scale: scale})
-				if err != nil {
-					panic(err)
-				}
-				progf(prog, "fig4 %-14s %-14s t=%d %.3fms\n", app, rt, th, r.Millis)
-				row = append(row, r.Millis)
+			for ti := range threadCounts {
+				row = append(row, ms[(ai*nR+ri)*nT+ti].cell())
 			}
 			t.Add(row...)
 		}
-		seq, err := stamp.Run(stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale})
-		if err != nil {
-			panic(err)
-		}
-		t.Add("Sequential", seq.Millis, "-", "-", "-")
+		t.Add("Sequential", seq[ai].cell(), "-", "-", "-")
 		tables = append(tables, t)
 	}
-	return tables
+	return tables, err
 }
 
 // fig5Panels are the eight IntegerSet panels of Fig. 5.
@@ -90,152 +149,245 @@ var fig5Panels = []intset.Config{
 
 // Fig5 — IntegerSet scalability: throughput (tx/µs) for the four ASF
 // variants across thread counts, eight panels.
-func Fig5(scale float64, prog Progress) []*Table {
-	ops := int(1500 * scale)
+func Fig5(o Options) ([]*Table, error) {
+	ops := int(1500 * o.scale())
+	rts := asfVariants()
+	nR, nT := len(rts), len(threadCounts)
+	thr := make([]slot[float64], len(fig5Panels)*nR*nT)
+	var cells []cell
+	for pi, panel := range fig5Panels {
+		for ri, rt := range rts {
+			for ti, th := range threadCounts {
+				dst := &thr[(pi*nR+ri)*nT+ti]
+				cfg := panel
+				cfg.Runtime = rt
+				cfg.Threads = th
+				cfg.OpsPerThread = ops
+				cells = append(cells, cell{
+					label: fmt.Sprintf("fig5 %-10s r=%-6d %-14s t=%d", panel.Structure, panel.Range, rt, th),
+					run: func() (string, error) {
+						r, err := intsetRun(cfg)
+						if err != nil {
+							return "", err
+						}
+						dst.set(r.Throughput())
+						return fmt.Sprintf("%.2f tx/us", r.Throughput()), nil
+					},
+				})
+			}
+		}
+	}
+	err := runCells(cells, o)
+
 	var tables []*Table
-	for _, panel := range fig5Panels {
+	for pi, panel := range fig5Panels {
 		t := &Table{
 			Title: fmt.Sprintf("Fig. 5 — Intset:%s (range=%d, %d%% upd.) throughput (tx/µs; higher is better)",
 				panel.Structure, panel.Range, panel.UpdatePct),
 			Header: []string{"variant", "1", "2", "4", "8"},
 		}
-		for _, rt := range asfVariants() {
+		for ri, rt := range rts {
 			row := []any{rt}
-			for _, th := range threadCounts {
-				cfg := panel
-				cfg.Runtime = rt
-				cfg.Threads = th
-				cfg.OpsPerThread = ops
-				r := intset.Run(cfg)
-				progf(prog, "fig5 %-10s r=%-6d %-14s t=%d %.2f tx/us\n",
-					panel.Structure, panel.Range, rt, th, r.Throughput())
-				row = append(row, r.Throughput())
+			for ti := range threadCounts {
+				row = append(row, thr[(pi*nR+ri)*nT+ti].cell())
 			}
 			t.Add(row...)
 		}
 		tables = append(tables, t)
 	}
-	return tables
+	return tables, err
+}
+
+// abortRow is one Fig. 6 table row's worth of percentages, computed by the
+// cell so assembly is pure formatting.
+type abortRow struct {
+	cont, pf, cap, mal, sys, other, tot float64
 }
 
 // Fig6 — abort breakdown: percentage of transaction attempts aborted, by
 // cause, for every STAMP application, ASF variant and thread count.
-func Fig6(scale float64, prog Progress) []*Table {
+func Fig6(o Options) ([]*Table, error) {
+	scale := o.scale()
+	rts := asfVariants()
+	nR, nT := len(rts), len(threadCounts)
+	rows := make([]slot[abortRow], len(stamp.Apps)*nR*nT)
+	var cells []cell
+	for ai, app := range stamp.Apps {
+		for ri, rt := range rts {
+			for ti, th := range threadCounts {
+				dst := &rows[(ai*nR+ri)*nT+ti]
+				cfg := stamp.Config{App: app, Runtime: rt, Threads: th, Scale: scale}
+				cells = append(cells, cell{
+					label: fmt.Sprintf("fig6 %-14s %-14s t=%d", app, rt, th),
+					run: func() (string, error) {
+						r, err := stampRun(cfg)
+						if err != nil {
+							return "", err
+						}
+						at := float64(r.Stats.Attempts())
+						if at == 0 {
+							at = 1
+						}
+						pct := func(n uint64) float64 { return float64(n) / at * 100 }
+						dst.set(abortRow{
+							cont: pct(r.Stats.Aborts[sim.AbortContention]),
+							pf:   pct(r.Stats.Aborts[sim.AbortPageFault]),
+							cap:  pct(r.Stats.Aborts[sim.AbortCapacity]),
+							mal:  pct(r.Stats.MallocAborts),
+							sys:  pct(r.Stats.Aborts[sim.AbortSyscall]),
+							other: pct(r.Stats.Aborts[sim.AbortInterrupt] +
+								r.Stats.Aborts[sim.AbortExplicit] +
+								r.Stats.Aborts[sim.AbortDisallowed]),
+							tot: pct(r.Stats.TotalAborts() + r.Stats.MallocAborts),
+						})
+						return fmt.Sprintf("total=%.1f%%", dst.val.tot), nil
+					},
+				})
+			}
+		}
+	}
+	err := runCells(cells, o)
+
 	var tables []*Table
-	for _, app := range stamp.Apps {
+	for ai, app := range stamp.Apps {
 		t := &Table{
 			Title: fmt.Sprintf("Fig. 6 — abort breakdown: %s (%% of attempts)", app),
 			Header: []string{"variant", "thr", "contention", "page-fault",
 				"capacity", "malloc", "syscall", "other", "total"},
 		}
-		for _, rt := range asfVariants() {
-			for _, th := range threadCounts {
-				r, err := stamp.Run(stamp.Config{App: app, Runtime: rt, Threads: th, Scale: scale})
-				if err != nil {
-					panic(err)
+		for ri, rt := range rts {
+			for ti, th := range threadCounts {
+				s := rows[(ai*nR+ri)*nT+ti]
+				if s.ok {
+					r := s.val
+					t.Add(rt, th, r.cont, r.pf, r.cap, r.mal, r.sys, r.other, r.tot)
+				} else {
+					t.Add(rt, th, "ERR", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR")
 				}
-				at := float64(r.Stats.Attempts())
-				if at == 0 {
-					at = 1
-				}
-				pct := func(n uint64) float64 { return float64(n) / at * 100 }
-				cont := pct(r.Stats.Aborts[sim.AbortContention])
-				pf := pct(r.Stats.Aborts[sim.AbortPageFault])
-				cap_ := pct(r.Stats.Aborts[sim.AbortCapacity])
-				mal := pct(r.Stats.MallocAborts)
-				sys := pct(r.Stats.Aborts[sim.AbortSyscall])
-				other := pct(r.Stats.Aborts[sim.AbortInterrupt] +
-					r.Stats.Aborts[sim.AbortExplicit] +
-					r.Stats.Aborts[sim.AbortDisallowed])
-				tot := pct(r.Stats.TotalAborts() + r.Stats.MallocAborts)
-				progf(prog, "fig6 %-14s %-14s t=%d total=%.1f%%\n", app, rt, th, tot)
-				t.Add(rt, th, cont, pf, cap_, mal, sys, other, tot)
 			}
 		}
 		tables = append(tables, t)
 	}
-	return tables
+	return tables, err
 }
 
 // Fig7 — ASF capacity: throughput vs transaction size (initial structure
 // size) at 8 threads, 20% updates, for the linked list and red-black tree.
-func Fig7(scale float64, prog Progress) []*Table {
-	ops := int(1200 * scale)
-	var tables []*Table
+func Fig7(o Options) ([]*Table, error) {
+	ops := int(1200 * o.scale())
+	rts := asfVariants()
+	series := []struct {
+		structure string
+		title     string
+		sizes     []int
+	}{
+		{"linkedlist", "Fig. 7 — Intset:LinkList (8 threads, 20% update): throughput (tx/µs) vs initial size",
+			[]int{6, 14, 30, 62, 126, 254, 510}},
+		{"rbtree", "Fig. 7 — Intset:RBTree (8 threads, 20% update): throughput (tx/µs) vs initial size",
+			[]int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}},
+	}
 
-	list := &Table{
-		Title:  "Fig. 7 — Intset:LinkList (8 threads, 20% update): throughput (tx/µs) vs initial size",
-		Header: []string{"variant", "6", "14", "30", "62", "126", "254", "510"},
-	}
-	listSizes := []int{6, 14, 30, 62, 126, 254, 510}
-	for _, rt := range asfVariants() {
-		row := []any{rt}
-		for _, sz := range listSizes {
-			r := intset.Run(intset.Config{
-				Structure: "linkedlist", Runtime: rt, Threads: 8,
-				Range: uint64(2 * sz), UpdatePct: 20, InitialSize: sz,
-				OpsPerThread: ops,
-			})
-			progf(prog, "fig7 list %-14s size=%-4d %.2f tx/us\n", rt, sz, r.Throughput())
-			row = append(row, r.Throughput())
-		}
-		list.Add(row...)
-	}
-	tables = append(tables, list)
-
-	tree := &Table{
-		Title:  "Fig. 7 — Intset:RBTree (8 threads, 20% update): throughput (tx/µs) vs initial size",
-		Header: []string{"variant", "8", "16", "32", "64", "128", "256", "512", "1024", "2048", "4096"},
-	}
-	treeSizes := []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
-	for _, rt := range asfVariants() {
-		row := []any{rt}
-		for _, sz := range treeSizes {
-			r := intset.Run(intset.Config{
-				Structure: "rbtree", Runtime: rt, Threads: 8,
-				Range: uint64(2 * sz), UpdatePct: 20, InitialSize: sz,
-				OpsPerThread: ops,
-			})
-			progf(prog, "fig7 rbtree %-14s size=%-4d %.2f tx/us\n", rt, sz, r.Throughput())
-			row = append(row, r.Throughput())
-		}
-		tree.Add(row...)
-	}
-	tables = append(tables, tree)
-	return tables
-}
-
-// Fig8 — early release: linked-list throughput with and without early
-// release for LLB-8 and LLB-256 (8 threads, 20% updates, sizes 2^3..2^9).
-func Fig8(scale float64, prog Progress) []*Table {
-	ops := int(1200 * scale)
-	sizes := []int{8, 16, 32, 64, 128, 256, 512}
-	var tables []*Table
-	for _, llb := range []string{"LLB-8", "LLB-256"} {
-		t := &Table{
-			Title:  fmt.Sprintf("Fig. 8 — Intset:LinkList (%s, 8 threads, 20%% update): early-release impact (tx/µs)", llb),
-			Header: []string{"mode", "8", "16", "32", "64", "128", "256", "512"},
-		}
-		for _, er := range []bool{false, true} {
-			label := "Without early release"
-			if er {
-				label = "With early release"
-			}
-			row := []any{label}
-			for _, sz := range sizes {
-				r := intset.Run(intset.Config{
-					Structure: "linkedlist", Runtime: llb, Threads: 8,
+	slots := make([][]slot[float64], len(series))
+	var cells []cell
+	for si, se := range series {
+		slots[si] = make([]slot[float64], len(rts)*len(se.sizes))
+		for ri, rt := range rts {
+			for zi, sz := range se.sizes {
+				dst := &slots[si][ri*len(se.sizes)+zi]
+				cfg := intset.Config{
+					Structure: se.structure, Runtime: rt, Threads: 8,
 					Range: uint64(2 * sz), UpdatePct: 20, InitialSize: sz,
-					OpsPerThread: ops, EarlyRelease: er,
+					OpsPerThread: ops,
+				}
+				cells = append(cells, cell{
+					label: fmt.Sprintf("fig7 %-10s %-14s size=%-4d", se.structure, rt, sz),
+					run: func() (string, error) {
+						r, err := intsetRun(cfg)
+						if err != nil {
+							return "", err
+						}
+						dst.set(r.Throughput())
+						return fmt.Sprintf("%.2f tx/us", r.Throughput()), nil
+					},
 				})
-				progf(prog, "fig8 %-8s er=%-5v size=%-4d %.2f tx/us\n", llb, er, sz, r.Throughput())
-				row = append(row, r.Throughput())
+			}
+		}
+	}
+	err := runCells(cells, o)
+
+	var tables []*Table
+	for si, se := range series {
+		header := []string{"variant"}
+		for _, sz := range se.sizes {
+			header = append(header, fmt.Sprint(sz))
+		}
+		t := &Table{Title: se.title, Header: header}
+		for ri, rt := range rts {
+			row := []any{rt}
+			for zi := range se.sizes {
+				row = append(row, slots[si][ri*len(se.sizes)+zi].cell())
 			}
 			t.Add(row...)
 		}
 		tables = append(tables, t)
 	}
-	return tables
+	return tables, err
+}
+
+// Fig8 — early release: linked-list throughput with and without early
+// release for LLB-8 and LLB-256 (8 threads, 20% updates, sizes 2^3..2^9).
+func Fig8(o Options) ([]*Table, error) {
+	ops := int(1200 * o.scale())
+	sizes := []int{8, 16, 32, 64, 128, 256, 512}
+	llbs := []string{"LLB-8", "LLB-256"}
+	modes := []bool{false, true}
+	thr := make([]slot[float64], len(llbs)*len(modes)*len(sizes))
+	var cells []cell
+	for li, llb := range llbs {
+		for mi, er := range modes {
+			for zi, sz := range sizes {
+				dst := &thr[(li*len(modes)+mi)*len(sizes)+zi]
+				cfg := intset.Config{
+					Structure: "linkedlist", Runtime: llb, Threads: 8,
+					Range: uint64(2 * sz), UpdatePct: 20, InitialSize: sz,
+					OpsPerThread: ops, EarlyRelease: er,
+				}
+				cells = append(cells, cell{
+					label: fmt.Sprintf("fig8 %-8s er=%-5v size=%-4d", llb, er, sz),
+					run: func() (string, error) {
+						r, err := intsetRun(cfg)
+						if err != nil {
+							return "", err
+						}
+						dst.set(r.Throughput())
+						return fmt.Sprintf("%.2f tx/us", r.Throughput()), nil
+					},
+				})
+			}
+		}
+	}
+	err := runCells(cells, o)
+
+	var tables []*Table
+	for li, llb := range llbs {
+		t := &Table{
+			Title:  fmt.Sprintf("Fig. 8 — Intset:LinkList (%s, 8 threads, 20%% update): early-release impact (tx/µs)", llb),
+			Header: []string{"mode", "8", "16", "32", "64", "128", "256", "512"},
+		}
+		for mi, er := range modes {
+			label := "Without early release"
+			if er {
+				label = "With early release"
+			}
+			row := []any{label}
+			for zi := range sizes {
+				row = append(row, thr[(li*len(modes)+mi)*len(sizes)+zi].cell())
+			}
+			t.Add(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables, err
 }
 
 // table1Configs are the four single-thread overhead workloads of Table 1 /
@@ -249,40 +401,68 @@ var table1Configs = []intset.Config{
 
 // Table1 — single-thread cycle breakdown: ASF-TM (LLB-256) vs TinySTM per
 // category, with ratios (Table 1), and the normalised composition (Fig. 9).
-func Table1(scale float64, prog Progress) []*Table {
-	ops := int(4000 * scale)
+func Table1(o Options) ([]*Table, error) {
+	ops := int(4000 * o.scale())
+	asfB := make([]slot[sim.Breakdown], len(table1Configs))
+	stmB := make([]slot[sim.Breakdown], len(table1Configs))
+	var cells []cell
+	for ci, cfg := range table1Configs {
+		for _, rt := range []string{"LLB-256", "STM"} {
+			dst := &asfB[ci]
+			if rt == "STM" {
+				dst = &stmB[ci]
+			}
+			c := cfg
+			c.Runtime = rt
+			c.Threads = 1
+			c.OpsPerThread = ops
+			cells = append(cells, cell{
+				label: fmt.Sprintf("table1 %-10s %-8s", cfg.Structure, rt),
+				run: func() (string, error) {
+					r, err := intsetRun(c)
+					if err != nil {
+						return "", err
+					}
+					dst.set(r.Breakdown)
+					return fmt.Sprintf("total=%d cycles", r.Breakdown.Total()), nil
+				},
+			})
+		}
+	}
+	err := runCells(cells, o)
+
+	cats := []struct {
+		label string
+		cat   sim.Category
+	}{
+		{"Non-instr. code", sim.CatNonInstr},
+		{"Instr. app. code", sim.CatTxApp},
+		{"Abort/restart", sim.CatAbort},
+		{"Tx load/store", sim.CatTxLoadStore},
+		{"Tx start/commit", sim.CatTxStartCommit},
+	}
+
 	var tables []*Table
 	norm := &Table{
 		Title:  "Fig. 9 — single-thread overhead composition (normalised to the STM total of each benchmark)",
 		Header: []string{"benchmark", "runtime", "non-instr", "tx app", "abort", "tx ld/st", "tx start/commit", "total"},
 	}
-	for _, cfg := range table1Configs {
+	for ci, cfg := range table1Configs {
 		t := &Table{
 			Title: fmt.Sprintf("Table 1 — cycles inside transactions: %s / %d%% / %d",
 				cfg.Structure, cfg.UpdatePct, cfg.InitialSize),
 			Header: []string{"category", "ASF", "STM", "ratio (STM/ASF)"},
 		}
-		results := map[string]intset.Result{}
-		for _, rt := range []string{"LLB-256", "STM"} {
-			c := cfg
-			c.Runtime = rt
-			c.Threads = 1
-			c.OpsPerThread = ops
-			r := intset.Run(c)
-			results[rt] = r
-			progf(prog, "table1 %-10s %-8s total=%d cycles\n", cfg.Structure, rt, r.Breakdown.Total())
+		if !asfB[ci].ok || !stmB[ci].ok {
+			for _, cc := range cats {
+				t.Add(cc.label, "ERR", "ERR", "ERR")
+			}
+			tables = append(tables, t)
+			norm.Add(cfg.Structure, "ASF", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR")
+			norm.Add(cfg.Structure, "STM", "ERR", "ERR", "ERR", "ERR", "ERR", "ERR")
+			continue
 		}
-		a, s := results["LLB-256"].Breakdown, results["STM"].Breakdown
-		cats := []struct {
-			label string
-			cat   sim.Category
-		}{
-			{"Non-instr. code", sim.CatNonInstr},
-			{"Instr. app. code", sim.CatTxApp},
-			{"Abort/restart", sim.CatAbort},
-			{"Tx load/store", sim.CatTxLoadStore},
-			{"Tx start/commit", sim.CatTxStartCommit},
-		}
+		a, s := asfB[ci].val, stmB[ci].val
 		for _, cc := range cats {
 			ratio := "-"
 			if a[cc.cat] > 0 {
@@ -308,5 +488,5 @@ func Table1(scale float64, prog Progress) []*Table {
 		}
 	}
 	tables = append(tables, norm)
-	return tables
+	return tables, err
 }

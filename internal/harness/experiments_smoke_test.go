@@ -1,7 +1,6 @@
 package harness
 
 import (
-	"io"
 	"strconv"
 	"testing"
 )
@@ -13,7 +12,10 @@ func TestFig4Fig5Fig6SmokeTiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweeps are slow")
 	}
-	fig4 := Fig4(0.05, io.Discard)
+	fig4, err := Fig4(Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(fig4) != 8 {
 		t.Fatalf("fig4 tables = %d", len(fig4))
 	}
@@ -36,20 +38,23 @@ func TestFig4Fig5Fig6SmokeTiny(t *testing.T) {
 	// genome is the first table; STM (row 4) slower than LLB-256 (row 1)
 	// at one thread (column 1).
 	g := fig4[0]
-	asf := cell(t, g, 1, 1)
-	stm := cell(t, g, 4, 1)
+	asf := cellVal(t, g, 1, 1)
+	stm := cellVal(t, g, 4, 1)
 	if stm <= asf {
 		t.Fatalf("genome: STM %.3f not slower than ASF %.3f", stm, asf)
 	}
 
-	fig5 := Fig5(0.1, io.Discard)
+	fig5, err := Fig5(Options{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(fig5) != 8 {
 		t.Fatalf("fig5 tables = %d", len(fig5))
 	}
 	for _, tab := range fig5 {
 		for _, row := range tab.Rows {
 			for col := 1; col < len(row); col++ {
-				if v := cell(t, tab, 0, col); v <= 0 {
+				if v := cellVal(t, tab, 0, col); v <= 0 {
 					t.Fatalf("%s: nonpositive throughput %v", tab.Title, v)
 				}
 				_ = row
@@ -57,7 +62,10 @@ func TestFig4Fig5Fig6SmokeTiny(t *testing.T) {
 		}
 	}
 
-	fig6 := Fig6(0.05, io.Discard)
+	fig6, err := Fig6(Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(fig6) != 8 {
 		t.Fatalf("fig6 tables = %d", len(fig6))
 	}
@@ -77,7 +85,7 @@ func TestRunDispatch(t *testing.T) {
 		t.Skip("sweeps are slow")
 	}
 	for _, name := range []string{"fig3", "table1"} {
-		tabs, err := Run(name, 0.1, io.Discard)
+		tabs, err := Run(name, Options{Scale: 0.1})
 		if err != nil || len(tabs) == 0 {
 			t.Fatalf("Run(%s): %v, %d tables", name, err, len(tabs))
 		}

@@ -87,25 +87,30 @@ func progf(w Progress, format string, args ...any) {
 // Experiment names accepted by Run, in paper order.
 var Names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1"}
 
-// Run executes one named experiment at the given scale and returns its
-// tables. scale < 1 shrinks inputs for quick runs; 1.0 is the reported
-// configuration.
-func Run(name string, scale float64, prog Progress) ([]*Table, error) {
+// Run executes one named experiment and returns its tables in figure
+// order. The experiment's independent cells — one simulated machine each —
+// are fanned out over o.Parallel worker goroutines; tables are identical
+// for every worker count.
+//
+// A non-nil error alongside non-nil tables means some cells failed: the
+// error joins one *CellError per failure and the corresponding table
+// entries read "ERR". Nil tables mean the experiment name was unknown.
+func Run(name string, o Options) ([]*Table, error) {
 	switch name {
 	case "fig3":
-		return Fig3(scale, prog), nil
+		return Fig3(o)
 	case "fig4":
-		return Fig4(scale, prog), nil
+		return Fig4(o)
 	case "fig5":
-		return Fig5(scale, prog), nil
+		return Fig5(o)
 	case "fig6":
-		return Fig6(scale, prog), nil
+		return Fig6(o)
 	case "fig7":
-		return Fig7(scale, prog), nil
+		return Fig7(o)
 	case "fig8":
-		return Fig8(scale, prog), nil
+		return Fig8(o)
 	case "table1":
-		return Table1(scale, prog), nil
+		return Table1(o)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (want one of %v)", name, Names)
 	}

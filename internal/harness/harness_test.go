@@ -1,7 +1,6 @@
 package harness
 
 import (
-	"io"
 	"strconv"
 	"strings"
 	"testing"
@@ -26,12 +25,16 @@ func TestTableFormatting(t *testing.T) {
 }
 
 func TestRunRejectsUnknown(t *testing.T) {
-	if _, err := Run("fig99", 1, io.Discard); err == nil {
+	tabs, err := Run("fig99", Options{Scale: 1})
+	if err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+	if tabs != nil {
+		t.Fatal("unknown experiment produced tables")
 	}
 }
 
-func cell(t *testing.T, tab *Table, row, col int) float64 {
+func cellVal(t *testing.T, tab *Table, row, col int) float64 {
 	t.Helper()
 	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
 	if err != nil {
@@ -44,11 +47,14 @@ func cell(t *testing.T, tab *Table, row, col int) float64 {
 // checks the paper's qualitative result: with early release, LLB-8
 // throughput on long lists is far higher than without.
 func TestFig8ShapeTiny(t *testing.T) {
-	tables := Fig8(0.1, io.Discard)
+	tables, err := Fig8(Options{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	llb8 := tables[0] // rows: without, with; cols: sizes 8..512
 	lastCol := len(llb8.Header) - 1
-	without := cell(t, llb8, 0, lastCol)
-	with := cell(t, llb8, 1, lastCol)
+	without := cellVal(t, llb8, 0, lastCol)
+	with := cellVal(t, llb8, 1, lastCol)
 	if with < 2*without {
 		t.Fatalf("early release ineffective on LLB-8 size 512: %.2f vs %.2f", with, without)
 	}
@@ -58,11 +64,14 @@ func TestFig8ShapeTiny(t *testing.T) {
 // shapes: STM spends far more in Tx load/store than ASF, and the ratio is
 // larger for the cache-resident tree than for the miss-bound hash set.
 func TestTable1ShapeTiny(t *testing.T) {
-	tables := Table1(0.2, io.Discard)
+	tables, err := Table1(Options{Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// tables: [list, skip, rbtree, hashset, fig9norm]
 	ratio := func(tab *Table) float64 {
 		// row 3 = Tx load/store; col 3 = ratio.
-		return cell(t, tab, 3, 3)
+		return cellVal(t, tab, 3, 3)
 	}
 	rb := ratio(tables[2])
 	hs := ratio(tables[3])
@@ -77,7 +86,10 @@ func TestTable1ShapeTiny(t *testing.T) {
 // TestFig3ShapeTiny: the two timing models must produce nonzero times and
 // bounded deviations.
 func TestFig3ShapeTiny(t *testing.T) {
-	tables := Fig3(0.1, io.Discard)
+	tables, err := Fig3(Options{Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, row := range tables[0].Rows {
 		sim, _ := strconv.ParseFloat(row[1], 64)
 		nat, _ := strconv.ParseFloat(row[2], 64)
@@ -96,23 +108,26 @@ func TestFig3ShapeTiny(t *testing.T) {
 // exhausted past ~8 elements), while at size 510 even LLB-256's traversals
 // overflow and the curves converge — both effects the paper reports.
 func TestFig7ShapeTiny(t *testing.T) {
-	tables := Fig7(0.15, io.Discard)
+	tables, err := Fig7(Options{Scale: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
 	list := tables[0] // rows: LLB-8, LLB-256, LLB-8 w/L1, LLB-256 w/L1
 	// Header: [variant, 6, 14, 30, 62, 126, 254, 510] — col 5 is size 126.
-	mid8 := cell(t, list, 0, 5)
-	mid256 := cell(t, list, 1, 5)
+	mid8 := cellVal(t, list, 0, 5)
+	mid256 := cellVal(t, list, 1, 5)
 	if mid256 < 2*mid8 {
 		t.Fatalf("size-126 list: LLB-256 %.2f vs LLB-8 %.2f — no capacity gap", mid256, mid8)
 	}
 	// At 510 the read set exceeds 256 lines too: near-converged curves.
 	lastCol := len(list.Header) - 1
-	last8 := cell(t, list, 0, lastCol)
-	last256 := cell(t, list, 1, lastCol)
+	last8 := cellVal(t, list, 0, lastCol)
+	last256 := cellVal(t, list, 1, lastCol)
 	if last256 > 4*last8 {
 		t.Fatalf("size-510 list: LLB-256 %.2f vs LLB-8 %.2f — should converge", last256, last8)
 	}
 	// LLB-8 itself must degrade sharply from tiny to large lists.
-	small8 := cell(t, list, 0, 1)
+	small8 := cellVal(t, list, 0, 1)
 	if small8 < 2*last8 {
 		t.Fatalf("LLB-8: %.2f at size 6 vs %.2f at 510 — no collapse", small8, last8)
 	}

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures how an experiment schedules its cells.
+type Options struct {
+	// Scale shrinks workload sizes proportionally; <= 0 means 1.0, the
+	// reported configuration.
+	Scale float64
+	// Parallel is the number of host goroutines running cells; <= 0 means
+	// runtime.NumCPU(). Every cell is an isolated simulated machine and
+	// results assemble in figure order, so tables are byte-identical for
+	// any value.
+	Parallel int
+	// Progress receives one line per completed cell (may be nil).
+	Progress Progress
+}
+
+func (o Options) scale() float64 {
+	if o.Scale <= 0 {
+		return 1
+	}
+	return o.Scale
+}
+
+func (o Options) workers() int {
+	if o.Parallel <= 0 {
+		return runtime.NumCPU()
+	}
+	return o.Parallel
+}
+
+// CellError is the failure of a single experiment cell. Experiments join
+// cell errors and still return every table; the failed cells render as
+// "ERR" in their table slots.
+type CellError struct {
+	Cell string // cell label, e.g. "fig5 rbtree r=1024 LLB-8 t=4"
+	Err  error
+}
+
+func (e *CellError) Error() string { return fmt.Sprintf("cell %q: %v", e.Cell, e.Err) }
+func (e *CellError) Unwrap() error { return e.Err }
+
+// cell is one independent unit of work — one simulated machine built, run
+// and measured — whose results land in fixed slots of the experiment's
+// tables. run returns a short summary line for the progress stream.
+type cell struct {
+	label string
+	run   func() (summary string, err error)
+}
+
+// slot is a single-writer result location pre-allocated by an experiment:
+// exactly one cell sets it, and the assembly code reads it only after the
+// worker pool has drained. A slot left unset (its cell failed) renders as
+// "ERR".
+type slot[T any] struct {
+	val T
+	ok  bool
+}
+
+func (s *slot[T]) set(v T) { s.val, s.ok = v, true }
+
+// cell returns the value for a table slot, or "ERR" when the producing
+// cell failed (its error is reported separately through runCells).
+func (s *slot[T]) cell() any {
+	if !s.ok {
+		return "ERR"
+	}
+	return s.val
+}
+
+// runCells drains cells through a pool of worker goroutines and returns
+// the joined per-cell errors (nil when every cell succeeded), in cell
+// order. A cell that fails — by error or by panic — is reported and the
+// remaining cells keep running; the experiment still assembles every
+// table.
+func runCells(cells []cell, o Options) error {
+	workers := o.workers()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	errs := make([]error, len(cells))
+	var next atomic.Int64
+	var mu sync.Mutex // serialises Progress writes
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				c := cells[i]
+				start := time.Now()
+				summary, err := runCell(c)
+				host := time.Since(start).Round(time.Millisecond)
+				mu.Lock()
+				if err != nil {
+					progf(o.Progress, "[%d/%d] %s FAILED (%v host): %v\n",
+						i+1, len(cells), c.label, host, err)
+				} else {
+					progf(o.Progress, "[%d/%d] %s %s (%v host)\n",
+						i+1, len(cells), c.label, summary, host)
+				}
+				mu.Unlock()
+				if err != nil {
+					errs[i] = &CellError{Cell: c.label, Err: err}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// runCell runs one cell, converting a workload panic (simulator
+// assertion, arena exhaustion, bad configuration) into an error so a bad
+// cell cannot kill the whole experiment.
+func runCell(c cell) (summary string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return c.run()
+}

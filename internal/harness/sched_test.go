@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"asfstack/internal/stamp"
+)
+
+func renderTables(tables []*Table) string {
+	var b strings.Builder
+	for _, t := range tables {
+		t.Fprint(&b)
+	}
+	return b.String()
+}
+
+// TestFig5ParallelDeterminism: the parallel and sequential schedules of the
+// same experiment must produce byte-identical tables — cells are isolated
+// machines and assembly happens in figure order, so worker count cannot
+// leak into results.
+func TestFig5ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	render := func(parallel int) string {
+		tables, err := Fig5(Options{Scale: 0.03, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderTables(tables)
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("parallel tables differ from sequential:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s", seq, par)
+	}
+}
+
+// TestRunCellsCollectsFailures drives the scheduler directly: erroring and
+// panicking cells must be reported as CellErrors in cell order while the
+// healthy cells still complete.
+func TestRunCellsCollectsFailures(t *testing.T) {
+	var good slot[float64]
+	cells := []cell{
+		{label: "bad-error", run: func() (string, error) {
+			return "", errors.New("boom")
+		}},
+		{label: "good", run: func() (string, error) {
+			good.set(1.5)
+			return "ok", nil
+		}},
+		{label: "bad-panic", run: func() (string, error) {
+			panic("kaboom")
+		}},
+	}
+	var prog strings.Builder
+	err := runCells(cells, Options{Parallel: 2, Progress: &prog})
+	if err == nil {
+		t.Fatal("failures not reported")
+	}
+	if !good.ok || good.val != 1.5 {
+		t.Fatalf("healthy cell did not complete: %+v", good)
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v does not unwrap to *CellError", err)
+	}
+	msg := err.Error()
+	// Joined in cell order: the erroring cell before the panicking one.
+	ei, pi := strings.Index(msg, "bad-error"), strings.Index(msg, "bad-panic")
+	if ei < 0 || pi < 0 || ei > pi {
+		t.Fatalf("cell errors missing or out of order: %q", msg)
+	}
+	if !strings.Contains(msg, "kaboom") {
+		t.Fatalf("panic not converted to error: %q", msg)
+	}
+	if !strings.Contains(prog.String(), "FAILED") {
+		t.Fatalf("progress stream missing failure line:\n%s", prog.String())
+	}
+}
+
+// TestRunReportsFailingCells injects failures into fig3's workload entry
+// point: Run must return the full table with ERR cells, join one CellError
+// per failure, and keep every healthy row intact — never crash.
+func TestRunReportsFailingCells(t *testing.T) {
+	orig := stampRun
+	defer func() { stampRun = orig }()
+	stampRun = func(cfg stamp.Config) (stamp.Result, error) {
+		switch {
+		case cfg.App == "ssca2" && !cfg.Native:
+			return stamp.Result{}, errors.New("injected failure")
+		case cfg.App == "genome" && cfg.Native:
+			panic("injected panic")
+		}
+		return stamp.Result{Config: cfg, Millis: 1.0}, nil
+	}
+
+	tables, err := Run("fig3", Options{Scale: 0.1, Parallel: 4})
+	if err == nil {
+		t.Fatal("failing cells produced no error")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v does not unwrap to *CellError", err)
+	}
+	for _, want := range []string{"ssca2", "injected failure", "genome", "injected panic"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d, want 1 despite failures", len(tables))
+	}
+	out := renderTables(tables)
+	if !strings.Contains(out, "ERR") {
+		t.Fatalf("failed cells not marked ERR:\n%s", out)
+	}
+	// Healthy rows must carry real values.
+	if !strings.Contains(out, fmt.Sprintf("%.2f", 1.0)) {
+		t.Fatalf("healthy cells missing from table:\n%s", out)
+	}
+}

@@ -84,8 +84,19 @@ func hashBits(r uint64) uint {
 	return bits
 }
 
-// Run executes one configuration and returns its measurements.
-func Run(cfg Config) Result {
+// Run executes one configuration and returns its measurements. A bad
+// configuration (unknown structure, empty key range) is reported as an
+// error, not a panic, so sweep harnesses can fail one cell and continue.
+func Run(cfg Config) (Result, error) {
+	switch cfg.Structure {
+	case "linkedlist", "skiplist", "rbtree", "hashset":
+	default:
+		return Result{}, fmt.Errorf("intset: unknown structure %q (want one of %v)",
+			cfg.Structure, Structures)
+	}
+	if cfg.Range == 0 {
+		return Result{}, fmt.Errorf("intset: %s: key range must be positive", cfg.Structure)
+	}
 	if cfg.OpsPerThread == 0 {
 		cfg.OpsPerThread = 1500
 	}
@@ -118,8 +129,6 @@ func Run(cfg Config) Result {
 				bits = hashBits(cfg.Range)
 			}
 			set = txlib.NewHashSet(tx, bits)
-		default:
-			panic(fmt.Sprintf("intset: unknown structure %q", cfg.Structure))
 		}
 		// Populate to the initial size with distinct random keys.
 		rng := tx.CPU().Rand()
@@ -154,5 +163,5 @@ func Run(cfg Config) Result {
 	for i := 0; i < cfg.Threads; i++ {
 		res.Breakdown = res.Breakdown.Add(s.M.CPU(i).Counters())
 	}
-	return res
+	return res, nil
 }

@@ -9,7 +9,7 @@ func TestSmoke(t *testing.T) {
 			threads = 1
 		}
 		for _, st := range Structures {
-			r := Run(Config{Structure: st, Runtime: rt, Threads: threads,
+			r := mustRun(t, Config{Structure: st, Runtime: rt, Threads: threads,
 				Range: 256, UpdatePct: 20, OpsPerThread: 300})
 			t.Logf("%-10s %-12s thr=%d tx/us=%.2f serial=%d aborts=%d stmAborts=%d",
 				st, rt, threads, r.Throughput(), r.Stats.Serial, r.Stats.TotalAborts(), r.Stats.STMAborts)

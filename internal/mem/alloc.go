@@ -78,6 +78,11 @@ func (a *Arena) AllocPadded(size uint64) Addr {
 	return a.Alloc(alignUp(size, LineSize), LineSize)
 }
 
+// Owns reports whether p lies inside the arena's allocated span — an
+// address some previous Alloc handed out. Addresses at or beyond the bump
+// pointer were never allocated.
+func (a *Arena) Owns(p Addr) bool { return p >= a.base && p < a.next }
+
 // Prefault installs the pages backing [addr, addr+size) without counting
 // faults — for data built during (unsimulated) initialisation.
 func (a *Arena) Prefault(addr Addr, size uint64) { a.mem.Prefault(addr, size) }

@@ -49,7 +49,7 @@ func (t *seqTx) Load(a mem.Addr) mem.Word     { return t.c.Load(a) }
 func (t *seqTx) Store(a mem.Addr, v mem.Word) { t.c.Store(a, v) }
 func (t *seqTx) CPU() *sim.CPU                { return t.c }
 func (t *seqTx) Irrevocable() bool            { return true }
-func (t *seqTx) Free(a mem.Addr)              { t.r.heap.Free(t.c) }
+func (t *seqTx) Free(a mem.Addr)              { t.r.heap.Free(t.c, a) }
 
 func (t *seqTx) Alloc(size uint64) mem.Addr {
 	for {

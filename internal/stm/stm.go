@@ -478,7 +478,7 @@ func (t *txDesc) AllocLines(n int) mem.Addr {
 }
 
 // Free implements tm.Tx.
-func (t *txDesc) Free(a mem.Addr) { t.r.heap.Free(t.c) }
+func (t *txDesc) Free(a mem.Addr) { t.r.heap.Free(t.c, a) }
 
 // CPU implements tm.Tx.
 func (t *txDesc) CPU() *sim.CPU { return t.c }

@@ -26,7 +26,7 @@ func (t *directTx) Load(a mem.Addr) mem.Word     { return t.c.Load(a) }
 func (t *directTx) Store(a mem.Addr, v mem.Word) { t.c.Store(a, v) }
 func (t *directTx) CPU() *sim.CPU                { return t.c }
 func (t *directTx) Irrevocable() bool            { return true }
-func (t *directTx) Free(a mem.Addr)              { t.heap.Free(t.c) }
+func (t *directTx) Free(a mem.Addr)              { t.heap.Free(t.c, a) }
 
 func (t *directTx) Alloc(size uint64) mem.Addr {
 	for {

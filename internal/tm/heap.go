@@ -1,6 +1,8 @@
 package tm
 
 import (
+	"fmt"
+
 	"asfstack/internal/mem"
 	"asfstack/internal/sim"
 )
@@ -23,6 +25,7 @@ import (
 type Heap struct {
 	arenas []*mem.Arena
 	pool   []uint64 // per core: bytes remaining before a refill is needed
+	frees  uint64   // accounted Free calls (validation/accounting only)
 
 	// ChunkSize is how many bytes a refill adds to the fast pool.
 	ChunkSize uint64
@@ -73,9 +76,36 @@ func (h *Heap) Refill(c *sim.CPU, need uint64) {
 	h.pool[c.ID()] += chunk
 }
 
-// Free accounts a transactional free. The arena model reclaims nothing;
-// only the bookkeeping cost is charged.
-func (h *Heap) Free(c *sim.CPU) { c.Exec(12) }
+// Free accounts a transactional free of the block at a. The arena model
+// reclaims nothing — allocations from aborted transactions leak by design —
+// but the address is validated: freeing memory no arena ever handed out (a
+// foreign or never-allocated pointer, e.g. a double free of a recycled
+// address in a future reclaiming allocator) is a workload bug and panics.
+// Only the bookkeeping cost is charged to the simulated core.
+func (h *Heap) Free(c *sim.CPU, a mem.Addr) {
+	c.Exec(12)
+	if !h.owns(a) {
+		panic(fmt.Sprintf("tm: Free(%#x): address outside every arena's allocated span", uint64(a)))
+	}
+	h.frees++
+}
+
+// owns reports whether a lies inside the allocated span of any core's
+// arena.
+func (h *Heap) owns(a mem.Addr) bool {
+	for _, ar := range h.arenas {
+		if ar.Owns(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Frees returns how many frees have been accounted. A retried transaction
+// may free the same address once per attempt; with arenas that never
+// recycle addresses this is harmless, so the count can exceed the number
+// of distinct freed blocks.
+func (h *Heap) Frees() uint64 { return h.frees }
 
 // SetupAlloc allocates without charging simulated cycles — for building
 // initial data sets before the measured phase. The touched pages are

@@ -89,3 +89,43 @@ func TestDirectTxSemantics(t *testing.T) {
 		}
 	})
 }
+
+// TestFreeAccountsAndValidates: Free takes the freed address; in-arena
+// frees are counted, and a foreign (never-allocated) pointer is a caught
+// workload bug rather than a silent no-op.
+func TestFreeAccountsAndValidates(t *testing.T) {
+	m, h := newHeap(t)
+	var a mem.Addr
+	m.Run(func(c *sim.CPU) {
+		h.Refill(c, 128)
+		a, _ = h.AllocFast(c, 64, 8)
+		h.Free(c, a)
+	})
+	if h.Frees() != 1 {
+		t.Fatalf("frees = %d, want 1", h.Frees())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign free did not panic")
+		}
+	}()
+	m.Run(func(c *sim.CPU) {
+		h.Free(c, a+1<<30) // far outside every arena's allocated span
+	})
+}
+
+// TestFreeRejectsUnallocatedTail: an address inside an arena's region but
+// beyond its bump pointer was never handed out and must be rejected too.
+func TestFreeRejectsUnallocatedTail(t *testing.T) {
+	m, h := newHeap(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("free past the bump pointer did not panic")
+		}
+	}()
+	m.Run(func(c *sim.CPU) {
+		h.Refill(c, 128)
+		a, _ := h.AllocFast(c, 64, 8)
+		h.Free(c, a+mem.PageSize) // within the region, never allocated
+	})
+}
