@@ -1,25 +1,38 @@
 // Command asfbench regenerates the paper's evaluation artifacts — Figures
 // 3–9 and Table 1 — on the simulated ASF stack and prints them as text
-// tables.
+// tables or a machine-readable JSON report.
 //
 // Usage:
 //
-//	asfbench -experiment fig4          # one figure
-//	asfbench -experiment all           # everything (slow)
+//	asfbench -experiment fig4                    # one figure
+//	asfbench -experiment all                     # everything (slow)
 //	asfbench -experiment fig5 -scale 0.25 -parallel 8 -v
+//	asfbench -experiment fig5 -format json -o out.json
+//	asfbench -experiment fig5 -trace trace.json  # Chrome trace_event export
+//	asfbench -validate out.json                  # check a report's schema
 //
 // Scale shrinks the workload sizes proportionally; 1.0 is the reported
 // configuration. Each experiment decomposes into independent cells (one
 // simulated machine each) that -parallel host goroutines run concurrently;
-// tables are byte-identical for every -parallel value. -v streams per-cell
-// progress to stderr.
+// tables — and the JSON report's sim sections — are byte-identical for
+// every -parallel value. -v streams per-cell progress to stderr.
+//
+// -format json emits a versioned BenchReport document (schema
+// "asfstack/bench-report", see internal/harness and EXPERIMENTS.md) instead
+// of text tables; -o writes the output (either format) to a file instead of
+// stdout. -trace records every cell's simulated execution and writes a
+// Chrome trace_event JSON file loadable in chrome://tracing or Perfetto.
+// -validate reads a previously written JSON report, checks its schema and
+// version, and exits without running anything.
 //
 // A failing cell does not kill the run: its table entries read "ERR", the
 // failure is reported per cell on stderr, and the exit status is 1. Exit
-// status 2 means the invocation itself was bad (unknown experiment).
+// status 2 means the invocation itself was bad (unknown experiment, bad
+// flags, unwritable output, invalid report).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -29,42 +42,62 @@ import (
 	"time"
 
 	"asfstack/internal/harness"
+	"asfstack/internal/trace"
 )
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment to run: "+strings.Join(harness.Names, ", ")+", or all")
+		"comma-separated experiments to run: "+strings.Join(harness.Names, ", ")+", or all")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = reported configuration)")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"experiment cells run concurrently (host goroutines)")
 	verbose := flag.Bool("v", false, "stream per-cell progress to stderr")
+	format := flag.String("format", "text", "output format: text or json (a BenchReport document)")
+	outPath := flag.String("o", "", "write output to this file instead of stdout")
+	tracePath := flag.String("trace", "", "record sim traces and write a Chrome trace_event JSON file here")
+	validatePath := flag.String("validate", "", "validate a BenchReport JSON file and exit (runs nothing)")
 	flag.Parse()
+
+	if *validatePath != "" {
+		if err := validateReport(*validatePath); err != nil {
+			fmt.Fprintln(os.Stderr, "asfbench:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("%s: valid %s v%d\n", *validatePath, harness.ReportSchema, harness.ReportVersion)
+		return
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "asfbench: unknown -format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
+
+	names, err := experimentNames(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asfbench:", err)
+		os.Exit(2)
+	}
 
 	var prog io.Writer = io.Discard
 	if *verbose {
 		prog = os.Stderr
 	}
 
-	names := harness.Names
-	if *exp != "all" {
-		names = strings.Split(*exp, ",")
-	}
+	report := harness.NewBenchReport(*scale)
 	exit := 0
 	for _, name := range names {
-		name = strings.TrimSpace(name)
 		start := time.Now()
-		tables, err := harness.Run(name, harness.Options{
+		rep, err := harness.RunReport(name, harness.Options{
 			Scale:    *scale,
 			Parallel: *parallel,
 			Progress: prog,
+			Trace:    *tracePath != "",
 		})
-		if tables == nil && err != nil {
+		if rep == nil {
+			// Unreachable for validated names; defensive.
 			fmt.Fprintln(os.Stderr, "asfbench:", err)
 			os.Exit(2)
 		}
-		for _, t := range tables {
-			t.Fprint(os.Stdout)
-		}
+		report.Experiments = append(report.Experiments, rep)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "asfbench: %s: some cells failed:\n%v\n", name, err)
 			exit = 1
@@ -74,5 +107,139 @@ func main() {
 				name, time.Since(start).Round(time.Millisecond), *parallel)
 		}
 	}
+
+	if err := writeOutput(*outPath, func(w io.Writer) error {
+		if *format == "json" {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(report)
+		}
+		for _, rep := range report.Experiments {
+			for _, t := range rep.Tables {
+				t.Fprint(w)
+			}
+		}
+		return nil
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "asfbench:", err)
+		os.Exit(2)
+	}
+
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, report); err != nil {
+			fmt.Fprintln(os.Stderr, "asfbench:", err)
+			os.Exit(2)
+		}
+	}
 	os.Exit(exit)
+}
+
+// experimentNames parses and validates the -experiment flag: names are
+// comma-separated, whitespace-trimmed, and every one must be known before
+// anything runs — a typo in the last name must not cost the first
+// experiment's hours.
+func experimentNames(arg string) ([]string, error) {
+	if strings.TrimSpace(arg) == "all" {
+		return harness.Names, nil
+	}
+	known := map[string]bool{}
+	for _, n := range harness.Names {
+		known[n] = true
+	}
+	var names []string
+	var bad []string
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			bad = append(bad, fmt.Sprintf("%q", name))
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("unknown experiment(s) %s (want one of %v, or all)",
+			strings.Join(bad, ", "), harness.Names)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no experiments selected (want one of %v, or all)", harness.Names)
+	}
+	return names, nil
+}
+
+// writeOutput writes via emit to path, or to stdout when path is empty.
+func writeOutput(path string, emit func(io.Writer) error) error {
+	if path == "" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace exports every traced cell as a Chrome trace_event document.
+func writeTrace(path string, report *harness.BenchReport) error {
+	var cells []trace.ChromeCell
+	for _, rep := range report.Experiments {
+		for _, c := range rep.Cells {
+			if len(c.TraceEvents) == 0 {
+				continue
+			}
+			cells = append(cells, trace.ChromeCell{
+				Name:   rep.Name + " " + c.Label,
+				Events: c.TraceEvents,
+				Start:  c.TraceStart,
+			})
+		}
+	}
+	return writeOutput(path, func(w io.Writer) error {
+		return trace.WriteChrome(w, cells)
+	})
+}
+
+// validateReport checks that path holds a well-formed BenchReport of the
+// schema and version this binary understands.
+func validateReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep harness.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %w", path, err)
+	}
+	if rep.Schema != harness.ReportSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, harness.ReportSchema)
+	}
+	if rep.Version != harness.ReportVersion {
+		return fmt.Errorf("%s: version %d, want %d", path, rep.Version, harness.ReportVersion)
+	}
+	if len(rep.Experiments) == 0 {
+		return fmt.Errorf("%s: no experiments", path)
+	}
+	for _, e := range rep.Experiments {
+		if e.Name == "" {
+			return fmt.Errorf("%s: experiment with empty name", path)
+		}
+		if len(e.Tables) == 0 {
+			return fmt.Errorf("%s: experiment %s has no tables", path, e.Name)
+		}
+		for _, c := range e.Cells {
+			if c.Label == "" {
+				return fmt.Errorf("%s: experiment %s has a cell with no label", path, e.Name)
+			}
+			if c.Err == "" && c.Sim == nil {
+				return fmt.Errorf("%s: experiment %s cell %q has neither sim results nor an error", path, e.Name, c.Label)
+			}
+		}
+	}
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"asfstack/internal/mem"
+	"asfstack/internal/metrics"
 	"asfstack/internal/sim"
 )
 
@@ -21,6 +22,43 @@ type System struct {
 	// what coherence probes would discover. Entries exist only while some
 	// region protects the line.
 	prot map[mem.Addr]*protState
+
+	met sysMetrics
+}
+
+// sysMetrics holds the facility's registered metric handles. All handles
+// are zero-value inert until SetMetrics installs a registry, so the hot
+// paths record unconditionally.
+type sysMetrics struct {
+	starts  metrics.Counter
+	commits metrics.Counter
+	aborts  [sim.NumAbortReasons]metrics.Counter
+
+	// Read/write-set sizes (in lines) observed at commit and at abort —
+	// the paper's capacity-attribution evidence (§5, Figs. 6/7).
+	readCommit  metrics.Histogram
+	writeCommit metrics.Histogram
+	readAbort   metrics.Histogram
+	writeAbort  metrics.Histogram
+
+	// llbHigh is the high-water mark of LLB entries in use.
+	llbHigh metrics.Gauge
+}
+
+// SetMetrics registers the facility's instruments with reg. Must be called
+// before the first speculative region (stack construction does this).
+func (s *System) SetMetrics(reg *metrics.Registry) {
+	s.met.starts = reg.Counter("asf/starts")
+	s.met.commits = reg.Counter("asf/commits")
+	for r := 1; r < sim.NumAbortReasons; r++ { // skip AbortNone
+		s.met.aborts[r] = reg.Counter("asf/aborts/" + sim.AbortReason(r).String())
+	}
+	sizes := metrics.PowersOfTwo(10) // 1..512 lines, +overflow
+	s.met.readCommit = reg.Histogram("asf/readset_lines/commit", sizes)
+	s.met.writeCommit = reg.Histogram("asf/writeset_lines/commit", sizes)
+	s.met.readAbort = reg.Histogram("asf/readset_lines/abort", sizes)
+	s.met.writeAbort = reg.Histogram("asf/writeset_lines/abort", sizes)
+	s.met.llbHigh = reg.Gauge("asf/llb_highwater")
 }
 
 type protState struct {

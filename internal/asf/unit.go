@@ -102,6 +102,7 @@ func (u *Unit) Region(body func()) (reason sim.AbortReason, code uint64) {
 		u.active = true
 		u.depth = 1
 		u.stats.Starts++
+		u.sys.met.starts.Inc(u.c.ID())
 	})
 
 	if nested {
@@ -163,8 +164,12 @@ func (u *Unit) commit() {
 		if u.sys.variant.L1ReadSet {
 			u.sys.m.Hier.FlashClearSpecRead(u.c.ID())
 		}
+		read, write := u.setSizes()
+		u.sys.met.readCommit.Observe(u.c.ID(), read)
+		u.sys.met.writeCommit.Observe(u.c.ID(), write)
 		u.reset()
 		u.stats.Commits++
+		u.sys.met.commits.Inc(u.c.ID())
 	})
 }
 
@@ -217,8 +222,23 @@ func (u *Unit) doRollback(reason sim.AbortReason) {
 		hier.FlashClearSpecRead(u.c.ID())
 	}
 	u.lastAbortCost = AbortBaseCost + AbortPerLine*uint64(u.writeCount)
+	read, write := u.setSizes()
+	u.sys.met.readAbort.Observe(u.c.ID(), read)
+	u.sys.met.writeAbort.Observe(u.c.ID(), write)
 	u.reset()
 	u.stats.Aborts[reason]++
+	u.sys.met.aborts[reason].Inc(u.c.ID())
+}
+
+// setSizes reports the region's current read- and write-set sizes in lines.
+// In the pure cache-based variant the write set lives outside the LLB; in
+// every LLB variant written lines are LLB entries.
+func (u *Unit) setSizes() (read, write uint64) {
+	write = uint64(u.writeCount)
+	if u.sys.variant.CacheBased {
+		return uint64(len(u.readSet)), write
+	}
+	return uint64(len(u.llb)-u.writeCount) + uint64(len(u.readSet)), write
 }
 
 func (u *Unit) reset() {
@@ -314,6 +334,7 @@ func (u *Unit) trackRead(line mem.Addr) {
 			u.c.RaiseAbort(sim.AbortCapacity, 0)
 		}
 		u.llb = append(u.llb, llbEntry{line: line})
+		u.sys.met.llbHigh.High(u.c.ID(), uint64(len(u.llb)))
 	}
 	p.readers |= bit
 }
@@ -348,6 +369,7 @@ func (u *Unit) trackWrite(line mem.Addr) {
 			u.c.RaiseAbort(sim.AbortCapacity, 0)
 		}
 		u.llb = append(u.llb, llbEntry{line: line})
+		u.sys.met.llbHigh.High(u.c.ID(), uint64(len(u.llb)))
 		e = &u.llb[len(u.llb)-1]
 	}
 	if !e.written {

@@ -22,6 +22,7 @@ package asftm
 import (
 	"asfstack/internal/asf"
 	"asfstack/internal/mem"
+	"asfstack/internal/metrics"
 	"asfstack/internal/sim"
 	"asfstack/internal/tm"
 )
@@ -68,6 +69,30 @@ type Runtime struct {
 	stats []tm.Stats
 	txs   []hwTx // per-core transaction descriptors (reused)
 	depth []int  // per-core flat-nesting depth of Atomic calls
+
+	met rtMetrics
+}
+
+// rtMetrics holds the runtime's metric handles (zero-value inert).
+type rtMetrics struct {
+	// hwAttempts is the number of hardware attempts each transaction made
+	// before completing (committing in hardware or going serial).
+	hwAttempts metrics.Histogram
+	// backoff records each contention back-off delay, in cycles.
+	backoff metrics.Histogram
+	// serialEntries counts entries into serial-irrevocable mode;
+	// serialCycles accumulates simulated cycles the global token was held.
+	serialEntries metrics.Counter
+	serialCycles  metrics.Counter
+}
+
+// SetMetrics registers the runtime's instruments with reg. Must be called
+// before the first transaction (stack construction does this).
+func (r *Runtime) SetMetrics(reg *metrics.Registry) {
+	r.met.hwAttempts = reg.Histogram("asftm/hw_attempts", metrics.PowersOfTwo(6))
+	r.met.backoff = reg.Histogram("asftm/backoff_cycles", metrics.PowersOfTwo(16))
+	r.met.serialEntries = reg.Counter("asftm/serial_entries")
+	r.met.serialCycles = reg.Counter("asftm/serial_cycles")
 }
 
 // New builds the runtime for an installed ASF system. layout provides the
@@ -151,6 +176,7 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 
 		if reason == sim.AbortNone {
 			st.Commits++
+			r.met.hwAttempts.Observe(id, uint64(attempts+1))
 			c.Trace(sim.TraceTxCommit, 0)
 			c.SetCategory(sim.CatNonInstr)
 			return
@@ -193,6 +219,7 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 		}
 
 		if serial || attempts >= r.cfg.MaxHWAttempts {
+			r.met.hwAttempts.Observe(id, uint64(attempts))
 			r.runSerial(c, t, body)
 			return
 		}
@@ -205,7 +232,9 @@ func (r *Runtime) backoff(c *sim.CPU, attempt int) {
 	if limit > r.cfg.BackoffMax {
 		limit = r.cfg.BackoffMax
 	}
-	c.Cycles(uint64(c.Rand().Int63n(int64(limit))) + 1)
+	delay := uint64(c.Rand().Int63n(int64(limit))) + 1
+	r.met.backoff.Observe(c.ID(), delay)
+	c.Cycles(delay)
 }
 
 // waitSerialFree polls the token (plain reads; they do not conflict) until
@@ -229,10 +258,13 @@ func (r *Runtime) runSerial(c *sim.CPU, t *hwTx, body func(tx tm.Tx)) {
 		c.Cycles(uint64(c.Rand().Int63n(400)) + 100)
 	}
 	t.serial = true
+	r.met.serialEntries.Inc(c.ID())
+	held := c.Now() // token acquired; measure simulated cycles held
 	c.SetCategory(sim.CatTxApp)
 	body(t)
 	c.SetCategory(sim.CatTxStartCommit)
 	c.Store(r.serialLock, 0)
+	r.met.serialCycles.Add(c.ID(), c.Now()-held)
 	t.serial = false
 	st := &r.stats[c.ID()]
 	st.Commits++

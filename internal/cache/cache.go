@@ -167,6 +167,17 @@ func (h *Hierarchy) SetEvictHook(fn EvictFn) { h.onEvict = fn }
 // Stats returns the access counters for core c.
 func (h *Hierarchy) Stats(c int) Stats { return h.stats[c] }
 
+// Occupancy reports how many lines are resident in core c's private L1 and
+// L2 — the occupancy gauges of the metrics layer. O(1): the arrays keep a
+// line index for lookup.
+func (h *Hierarchy) Occupancy(c int) (l1, l2 int) {
+	cc := h.cores[c]
+	return len(cc.l1.index), len(cc.l2.index)
+}
+
+// L3Occupancy reports how many lines are resident in the shared L3.
+func (h *Hierarchy) L3Occupancy() int { return len(h.l3.index) }
+
 // NumCores returns the number of cores the hierarchy was built for.
 func (h *Hierarchy) NumCores() int { return len(h.cores) }
 

@@ -16,6 +16,18 @@ var (
 	intsetRun = intset.Run
 )
 
+// recordStamp and recordIntset copy a workload result onto the cell's
+// report record.
+func recordStamp(rec *CellRecord, r stamp.Result) {
+	rec.Observe(r.Cycles, r.Stats, r.Metrics)
+	rec.ObserveTrace(r.TraceEvents, r.TraceStart)
+}
+
+func recordIntset(rec *CellRecord, r intset.Result) {
+	rec.Observe(r.Cycles, r.Stats, r.Metrics)
+	rec.ObserveTrace(r.TraceEvents, r.TraceStart)
+}
+
 // asfVariants are the four hardware configurations, in figure order.
 func asfVariants() []string {
 	names := make([]string, len(asf.Variants))
@@ -41,14 +53,15 @@ func Fig3(o Options) ([]*Table, error) {
 			if native {
 				dst, kind = &nats[i], "native"
 			}
-			cfg := stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale, Native: native}
+			cfg := stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale, Native: native, Trace: o.Trace}
 			cells = append(cells, cell{
 				label: fmt.Sprintf("fig3 %-14s %s", app, kind),
-				run: func() (string, error) {
+				run: func(rec *CellRecord) (string, error) {
 					r, err := stampRun(cfg)
 					if err != nil {
 						return "", err
 					}
+					recordStamp(rec, r)
 					dst.set(r.Millis)
 					return fmt.Sprintf("%.3fms", r.Millis), nil
 				},
@@ -86,14 +99,15 @@ func Fig4(o Options) ([]*Table, error) {
 		for ri, rt := range rts {
 			for ti, th := range threadCounts {
 				dst := &ms[(ai*nR+ri)*nT+ti]
-				cfg := stamp.Config{App: app, Runtime: rt, Threads: th, Scale: scale}
+				cfg := stamp.Config{App: app, Runtime: rt, Threads: th, Scale: scale, Trace: o.Trace}
 				cells = append(cells, cell{
 					label: fmt.Sprintf("fig4 %-14s %-14s t=%d", app, rt, th),
-					run: func() (string, error) {
+					run: func(rec *CellRecord) (string, error) {
 						r, err := stampRun(cfg)
 						if err != nil {
 							return "", err
 						}
+						recordStamp(rec, r)
 						dst.set(r.Millis)
 						return fmt.Sprintf("%.3fms", r.Millis), nil
 					},
@@ -101,14 +115,15 @@ func Fig4(o Options) ([]*Table, error) {
 			}
 		}
 		dst := &seq[ai]
-		cfg := stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale}
+		cfg := stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale, Trace: o.Trace}
 		cells = append(cells, cell{
 			label: fmt.Sprintf("fig4 %-14s Sequential     t=1", app),
-			run: func() (string, error) {
+			run: func(rec *CellRecord) (string, error) {
 				r, err := stampRun(cfg)
 				if err != nil {
 					return "", err
 				}
+				recordStamp(rec, r)
 				dst.set(r.Millis)
 				return fmt.Sprintf("%.3fms", r.Millis), nil
 			},
@@ -163,13 +178,15 @@ func Fig5(o Options) ([]*Table, error) {
 				cfg.Runtime = rt
 				cfg.Threads = th
 				cfg.OpsPerThread = ops
+				cfg.Trace = o.Trace
 				cells = append(cells, cell{
 					label: fmt.Sprintf("fig5 %-10s r=%-6d %-14s t=%d", panel.Structure, panel.Range, rt, th),
-					run: func() (string, error) {
+					run: func(rec *CellRecord) (string, error) {
 						r, err := intsetRun(cfg)
 						if err != nil {
 							return "", err
 						}
+						recordIntset(rec, r)
 						dst.set(r.Throughput())
 						return fmt.Sprintf("%.2f tx/us", r.Throughput()), nil
 					},
@@ -216,14 +233,15 @@ func Fig6(o Options) ([]*Table, error) {
 		for ri, rt := range rts {
 			for ti, th := range threadCounts {
 				dst := &rows[(ai*nR+ri)*nT+ti]
-				cfg := stamp.Config{App: app, Runtime: rt, Threads: th, Scale: scale}
+				cfg := stamp.Config{App: app, Runtime: rt, Threads: th, Scale: scale, Trace: o.Trace}
 				cells = append(cells, cell{
 					label: fmt.Sprintf("fig6 %-14s %-14s t=%d", app, rt, th),
-					run: func() (string, error) {
+					run: func(rec *CellRecord) (string, error) {
 						r, err := stampRun(cfg)
 						if err != nil {
 							return "", err
 						}
+						recordStamp(rec, r)
 						at := float64(r.Stats.Attempts())
 						if at == 0 {
 							at = 1
@@ -297,15 +315,16 @@ func Fig7(o Options) ([]*Table, error) {
 				cfg := intset.Config{
 					Structure: se.structure, Runtime: rt, Threads: 8,
 					Range: uint64(2 * sz), UpdatePct: 20, InitialSize: sz,
-					OpsPerThread: ops,
+					OpsPerThread: ops, Trace: o.Trace,
 				}
 				cells = append(cells, cell{
 					label: fmt.Sprintf("fig7 %-10s %-14s size=%-4d", se.structure, rt, sz),
-					run: func() (string, error) {
+					run: func(rec *CellRecord) (string, error) {
 						r, err := intsetRun(cfg)
 						if err != nil {
 							return "", err
 						}
+						recordIntset(rec, r)
 						dst.set(r.Throughput())
 						return fmt.Sprintf("%.2f tx/us", r.Throughput()), nil
 					},
@@ -350,15 +369,16 @@ func Fig8(o Options) ([]*Table, error) {
 				cfg := intset.Config{
 					Structure: "linkedlist", Runtime: llb, Threads: 8,
 					Range: uint64(2 * sz), UpdatePct: 20, InitialSize: sz,
-					OpsPerThread: ops, EarlyRelease: er,
+					OpsPerThread: ops, EarlyRelease: er, Trace: o.Trace,
 				}
 				cells = append(cells, cell{
 					label: fmt.Sprintf("fig8 %-8s er=%-5v size=%-4d", llb, er, sz),
-					run: func() (string, error) {
+					run: func(rec *CellRecord) (string, error) {
 						r, err := intsetRun(cfg)
 						if err != nil {
 							return "", err
 						}
+						recordIntset(rec, r)
 						dst.set(r.Throughput())
 						return fmt.Sprintf("%.2f tx/us", r.Throughput()), nil
 					},
@@ -416,13 +436,15 @@ func Table1(o Options) ([]*Table, error) {
 			c.Runtime = rt
 			c.Threads = 1
 			c.OpsPerThread = ops
+			c.Trace = o.Trace
 			cells = append(cells, cell{
 				label: fmt.Sprintf("table1 %-10s %-8s", cfg.Structure, rt),
-				run: func() (string, error) {
+				run: func(rec *CellRecord) (string, error) {
 					r, err := intsetRun(c)
 					if err != nil {
 						return "", err
 					}
+					recordIntset(rec, r)
 					dst.set(r.Breakdown)
 					return fmt.Sprintf("total=%d cycles", r.Breakdown.Total()), nil
 				},

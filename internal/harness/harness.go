@@ -10,12 +10,13 @@ import (
 	"strings"
 )
 
-// Table is one printable result table (a figure panel or a table).
+// Table is one printable result table (a figure panel or a table). The JSON
+// tags are part of the BenchReport schema (see report.go).
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
-	Note   string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Note   string     `json:"note,omitempty"`
 }
 
 // Add appends a row; values are formatted with %v, floats with 2 decimals.
@@ -88,7 +89,8 @@ func progf(w Progress, format string, args ...any) {
 var Names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1"}
 
 // Run executes one named experiment and returns its tables in figure
-// order. The experiment's independent cells — one simulated machine each —
+// order — the experiment's own tables followed by its abort-attribution
+// table. The experiment's independent cells — one simulated machine each —
 // are fanned out over o.Parallel worker goroutines; tables are identical
 // for every worker count.
 //
@@ -96,6 +98,15 @@ var Names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1"}
 // error joins one *CellError per failure and the corresponding table
 // entries read "ERR". Nil tables mean the experiment name was unknown.
 func Run(name string, o Options) ([]*Table, error) {
+	rep, err := RunReport(name, o)
+	if rep == nil {
+		return nil, err
+	}
+	return rep.Tables, err
+}
+
+// runExperiment dispatches to the experiment function by name.
+func runExperiment(name string, o Options) ([]*Table, error) {
 	switch name {
 	case "fig3":
 		return Fig3(o)

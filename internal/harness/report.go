@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"fmt"
+
+	"asfstack/internal/metrics"
+	"asfstack/internal/sim"
+	"asfstack/internal/tm"
+)
+
+// The BenchReport JSON schema. Versioning contract: additions of new fields
+// bump nothing (consumers must ignore unknown fields); renames, removals,
+// or semantic changes of existing fields bump ReportVersion. The sim
+// sections are deterministic — byte-identical for a given seed and scale at
+// any Options.Parallel — while the host section is wall-clock and varies.
+const (
+	// ReportSchema identifies a BenchReport document.
+	ReportSchema = "asfstack/bench-report"
+	// ReportVersion is the current schema version.
+	ReportVersion = 1
+)
+
+// BenchReport is the machine-readable result of one asfbench invocation:
+// every experiment run, with its tables, per-cell simulated measurements
+// and host-side timing.
+type BenchReport struct {
+	Schema  string  `json:"schema"`
+	Version int     `json:"version"`
+	Scale   float64 `json:"scale"`
+
+	Experiments []*ExperimentReport `json:"experiments"`
+}
+
+// NewBenchReport returns an empty report with the schema header filled in.
+func NewBenchReport(scale float64) *BenchReport {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &BenchReport{Schema: ReportSchema, Version: ReportVersion, Scale: scale}
+}
+
+// ExperimentReport is one experiment's full outcome.
+type ExperimentReport struct {
+	Name string `json:"name"`
+	// Err carries the joined cell errors when some cells failed; the
+	// tables are still present with ERR entries.
+	Err    string        `json:"err,omitempty"`
+	Tables []*Table      `json:"tables"`
+	Cells  []*CellReport `json:"cells"`
+}
+
+// CellReport is one cell — one simulated machine built, run and measured —
+// in an ExperimentReport. The Sim section is deterministic; the Host
+// section is measured on the host and varies run to run.
+type CellReport struct {
+	Label string `json:"label"`
+	Err   string `json:"err,omitempty"`
+
+	Sim  *CellSim `json:"sim,omitempty"`
+	Host CellHost `json:"host"`
+
+	// TraceEvents/TraceStart carry the cell's sim trace when
+	// Options.Trace was set. They are exported through the Chrome trace
+	// writer, not the JSON report (volume).
+	TraceEvents []sim.TraceEvent `json:"-"`
+	TraceStart  uint64           `json:"-"`
+}
+
+// CellSim is the simulated (deterministic) section of a cell report.
+type CellSim struct {
+	// Cycles is the simulated duration of the measured phase.
+	Cycles uint64 `json:"cycles"`
+	// Stats are the TM runtime's outcome counters, summed over cores.
+	Stats tm.Stats `json:"stats"`
+	// Metrics is the cell's full registry snapshot.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// CellHost is the host-side (non-deterministic) section of a cell report.
+type CellHost struct {
+	// WallMS is the cell's host wall time, milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// QueueMS is how long the cell waited in the worker pool before a
+	// worker picked it up, milliseconds.
+	QueueMS float64 `json:"queue_ms"`
+}
+
+// CellRecord collects one cell's simulated outcome during its run; the
+// scheduler turns it into a CellReport. A nil record is inert so cell
+// bodies can record unconditionally.
+type CellRecord struct {
+	sim         *CellSim
+	traceEvents []sim.TraceEvent
+	traceStart  uint64
+}
+
+// Observe records the cell's simulated measurements (once, after the run).
+func (rec *CellRecord) Observe(cycles uint64, stats tm.Stats, m *metrics.Snapshot) {
+	if rec == nil {
+		return
+	}
+	rec.sim = &CellSim{Cycles: cycles, Stats: stats, Metrics: m}
+}
+
+// ObserveTrace attaches the cell's sim trace (no-op on empty events).
+func (rec *CellRecord) ObserveTrace(events []sim.TraceEvent, start uint64) {
+	if rec == nil || len(events) == 0 {
+		return
+	}
+	rec.traceEvents = events
+	rec.traceStart = start
+}
+
+// RunReport executes one named experiment and returns its full report:
+// tables (the experiment's own plus the abort-attribution table), and one
+// CellReport per cell in cell order. Like Run, a non-nil error alongside a
+// non-nil report means some cells failed; a nil report means the experiment
+// name was unknown.
+func RunReport(name string, o Options) (*ExperimentReport, error) {
+	var cells []*CellReport
+	o.sink = &cells
+	tables, err := runExperiment(name, o)
+	if tables == nil {
+		return nil, err
+	}
+	rep := &ExperimentReport{Name: name, Tables: tables, Cells: cells}
+	if err != nil {
+		rep.Err = err.Error()
+	}
+	rep.Tables = append(rep.Tables, abortTable(name, cells))
+	return rep, err
+}
+
+// abortTable builds the experiment-wide abort-attribution table: one row
+// per cell (configuration), one column per hardware abort reason plus the
+// software categories, raw counts. It is assembled from the deterministic
+// cell reports in cell order, so its text is identical for any worker
+// count.
+func abortTable(name string, cells []*CellReport) *Table {
+	header := []string{"cell", "commits", "serial"}
+	for r := 1; r < sim.NumAbortReasons; r++ { // skip AbortNone
+		header = append(header, sim.AbortReason(r).String())
+	}
+	header = append(header, "malloc", "stm")
+	t := &Table{
+		Title:  fmt.Sprintf("%s — abort attribution (counts; one row per configuration)", name),
+		Header: header,
+		Note:   "explicit includes malloc-refill aborts; stm counts software validation aborts",
+	}
+	for _, c := range cells {
+		if c.Sim == nil {
+			row := []any{c.Label}
+			for range t.Header[1:] {
+				row = append(row, "ERR")
+			}
+			t.Add(row...)
+			continue
+		}
+		st := c.Sim.Stats
+		row := []any{c.Label, st.Commits, st.Serial}
+		for r := 1; r < sim.NumAbortReasons; r++ {
+			row = append(row, st.Aborts[r])
+		}
+		row = append(row, st.MallocAborts, st.STMAborts)
+		t.Add(row...)
+	}
+	return t
+}

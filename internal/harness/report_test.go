@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTableFprintGolden pins Fprint's exact rendering: column alignment
+// from the widest cell, ERR cells, separator row, trailing-space trimming,
+// and the Note footer.
+func TestTableFprintGolden(t *testing.T) {
+	tab := &Table{
+		Title:  "golden",
+		Header: []string{"cell", "value", "note-col"},
+		Note:   "footer",
+	}
+	tab.Add("short", 1.5, "a")
+	tab.Add("a-much-longer-cell", "ERR", "bb")
+	var b strings.Builder
+	tab.Fprint(&b)
+	want := "\n== golden ==\n" +
+		"cell                value  note-col\n" +
+		"------------------  -----  --------\n" +
+		"short               1.50   a\n" +
+		"a-much-longer-cell  ERR    bb\n" +
+		"note: footer\n"
+	if got := b.String(); got != want {
+		t.Fatalf("Fprint rendering changed:\n--- got ---\n%q\n--- want ---\n%q", got, want)
+	}
+}
+
+// TestRunReportUnknownName: an unknown experiment yields a nil report and
+// an error, mirroring Run's nil-tables contract.
+func TestRunReportUnknownName(t *testing.T) {
+	rep, err := RunReport("fig99", Options{})
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if rep != nil {
+		t.Fatal("unknown experiment produced a report")
+	}
+}
+
+// TestBenchReportSchema: the envelope carries the schema header and
+// round-trips through JSON.
+func TestBenchReportSchema(t *testing.T) {
+	rep := NewBenchReport(0) // zero scale normalises to 1.0
+	if rep.Schema != ReportSchema || rep.Version != ReportVersion {
+		t.Fatalf("header = %q v%d", rep.Schema, rep.Version)
+	}
+	if rep.Scale != 1 {
+		t.Fatalf("scale = %v, want 1", rep.Scale)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ReportSchema || back.Version != ReportVersion {
+		t.Fatalf("round-trip header = %q v%d", back.Schema, back.Version)
+	}
+}
+
+// TestRunReportTable1 exercises the full report path on the cheapest real
+// experiment: every cell must carry a deterministic sim section (cycles,
+// stats, metrics) and a host section, and the abort-attribution table must
+// be appended with one row per cell.
+func TestRunReportTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	rep, err := RunReport("table1", Options{Scale: 0.05, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "table1" {
+		t.Fatalf("name = %q", rep.Name)
+	}
+	if len(rep.Cells) != 8 { // 4 structures × {ASF, STM}
+		t.Fatalf("cells = %d, want 8", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			t.Fatalf("cell %q failed: %s", c.Label, c.Err)
+		}
+		if c.Sim == nil || c.Sim.Cycles == 0 || c.Sim.Stats.Commits == 0 {
+			t.Fatalf("cell %q: missing sim section: %+v", c.Label, c.Sim)
+		}
+		if c.Sim.Metrics == nil {
+			t.Fatalf("cell %q: missing metrics snapshot", c.Label)
+		}
+		if c.Host.WallMS <= 0 {
+			t.Fatalf("cell %q: wall time %v", c.Label, c.Host.WallMS)
+		}
+		if c.Host.QueueMS < 0 {
+			t.Fatalf("cell %q: negative queue latency %v", c.Label, c.Host.QueueMS)
+		}
+		// The tm-level gauges must agree with the runtime's stats.
+		if g, ok := c.Sim.Metrics.Gauge("tm/commits"); !ok || g.Total != c.Sim.Stats.Commits {
+			t.Fatalf("cell %q: tm/commits gauge %+v disagrees with stats %d",
+				c.Label, g, c.Sim.Stats.Commits)
+		}
+	}
+	last := rep.Tables[len(rep.Tables)-1]
+	if !strings.Contains(last.Title, "abort attribution") {
+		t.Fatalf("last table is %q, want the abort-attribution table", last.Title)
+	}
+	if len(last.Rows) != len(rep.Cells) {
+		t.Fatalf("abort table rows = %d, want one per cell (%d)", len(last.Rows), len(rep.Cells))
+	}
+	for _, col := range []string{"commits", "contention", "capacity", "malloc", "stm"} {
+		found := false
+		for _, h := range last.Header {
+			if h == col {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("abort table header %v missing %q", last.Header, col)
+		}
+	}
+}
+
+// TestReportSimDeterminism: the JSON encoding of every cell's sim section —
+// metrics snapshots included — must be byte-identical at any worker count.
+// Host sections are wall-clock and excluded.
+func TestReportSimDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	simJSON := func(parallel int) string {
+		rep, err := RunReport("table1", Options{Scale: 0.05, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type det struct {
+			Label  string
+			Sim    *CellSim
+			Tables []*Table
+		}
+		var ds []det
+		for _, c := range rep.Cells {
+			ds = append(ds, det{Label: c.Label, Sim: c.Sim})
+		}
+		ds = append(ds, det{Label: "tables", Tables: rep.Tables})
+		data, err := json.MarshalIndent(ds, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	seq := simJSON(1)
+	par := simJSON(8)
+	if seq != par {
+		t.Fatalf("sim sections differ between parallel=1 and parallel=8:\n--- 1 ---\n%.2000s\n--- 8 ---\n%.2000s", seq, par)
+	}
+}

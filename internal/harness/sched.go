@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,14 @@ type Options struct {
 	Parallel int
 	// Progress receives one line per completed cell (may be nil).
 	Progress Progress
+	// Trace enables sim trace-event recording in every cell (the
+	// asfbench -trace export). Off by default: event volume is
+	// proportional to simulated work.
+	Trace bool
+
+	// sink, when non-nil, receives every cell's report in cell order
+	// (RunReport installs it).
+	sink *[]*CellReport
 }
 
 func (o Options) scale() float64 {
@@ -50,10 +59,11 @@ func (e *CellError) Unwrap() error { return e.Err }
 
 // cell is one independent unit of work — one simulated machine built, run
 // and measured — whose results land in fixed slots of the experiment's
-// tables. run returns a short summary line for the progress stream.
+// tables. run returns a short summary line for the progress stream and
+// records its simulated outcome on rec (for the report layer).
 type cell struct {
 	label string
-	run   func() (summary string, err error)
+	run   func(rec *CellRecord) (summary string, err error)
 }
 
 // slot is a single-writer result location pre-allocated by an experiment:
@@ -87,9 +97,11 @@ func runCells(cells []cell, o Options) error {
 		workers = len(cells)
 	}
 	errs := make([]error, len(cells))
+	reps := make([]*CellReport, len(cells))
 	var next atomic.Int64
 	var mu sync.Mutex // serialises Progress writes
 	var wg sync.WaitGroup
+	poolStart := time.Now() // every cell is queued from here
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -100,9 +112,27 @@ func runCells(cells []cell, o Options) error {
 					return
 				}
 				c := cells[i]
+				queued := time.Since(poolStart)
+				rec := &CellRecord{}
 				start := time.Now()
-				summary, err := runCell(c)
-				host := time.Since(start).Round(time.Millisecond)
+				summary, err := runCell(c, rec)
+				wall := time.Since(start)
+				host := wall.Round(time.Millisecond)
+				rep := &CellReport{
+					Label: strings.TrimRight(c.label, " "),
+					Sim:   rec.sim,
+					Host: CellHost{
+						WallMS:  float64(wall.Microseconds()) / 1e3,
+						QueueMS: float64(queued.Microseconds()) / 1e3,
+					},
+					TraceEvents: rec.traceEvents,
+					TraceStart:  rec.traceStart,
+				}
+				if err != nil {
+					rep.Err = err.Error()
+					rep.Sim = nil // a failed cell's partial state is not a result
+				}
+				reps[i] = rep
 				mu.Lock()
 				if err != nil {
 					progf(o.Progress, "[%d/%d] %s FAILED (%v host): %v\n",
@@ -119,17 +149,20 @@ func runCells(cells []cell, o Options) error {
 		}()
 	}
 	wg.Wait()
+	if o.sink != nil {
+		*o.sink = reps
+	}
 	return errors.Join(errs...)
 }
 
 // runCell runs one cell, converting a workload panic (simulator
 // assertion, arena exhaustion, bad configuration) into an error so a bad
 // cell cannot kill the whole experiment.
-func runCell(c cell) (summary string, err error) {
+func runCell(c cell, rec *CellRecord) (summary string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	return c.run()
+	return c.run(rec)
 }

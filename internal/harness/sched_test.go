@@ -45,14 +45,14 @@ func TestFig5ParallelDeterminism(t *testing.T) {
 func TestRunCellsCollectsFailures(t *testing.T) {
 	var good slot[float64]
 	cells := []cell{
-		{label: "bad-error", run: func() (string, error) {
+		{label: "bad-error", run: func(*CellRecord) (string, error) {
 			return "", errors.New("boom")
 		}},
-		{label: "good", run: func() (string, error) {
+		{label: "good", run: func(*CellRecord) (string, error) {
 			good.set(1.5)
 			return "ok", nil
 		}},
-		{label: "bad-panic", run: func() (string, error) {
+		{label: "bad-panic", run: func(*CellRecord) (string, error) {
 			panic("kaboom")
 		}},
 	}
@@ -111,8 +111,8 @@ func TestRunReportsFailingCells(t *testing.T) {
 			t.Fatalf("error %q does not mention %q", err, want)
 		}
 	}
-	if len(tables) != 1 {
-		t.Fatalf("tables = %d, want 1 despite failures", len(tables))
+	if len(tables) != 2 { // the fig3 table plus the abort-attribution table
+		t.Fatalf("tables = %d, want 2 despite failures", len(tables))
 	}
 	out := renderTables(tables)
 	if !strings.Contains(out, "ERR") {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"asfstack"
+	"asfstack/internal/metrics"
 	"asfstack/internal/sim"
 	"asfstack/internal/tm"
 	"asfstack/internal/txlib"
@@ -39,6 +40,9 @@ type Config struct {
 	// Table 1 forces the paper's 2^17-bucket table.
 	HashBits uint
 	Seed     int64
+	// Trace records sim trace events for the measured phase (Chrome trace
+	// export). Off by default: event volume is proportional to work.
+	Trace bool
 }
 
 // Result carries the measurements a run produces.
@@ -48,6 +52,14 @@ type Result struct {
 	Txs       uint64 // committed transactions
 	Stats     tm.Stats
 	Breakdown sim.Breakdown // per-category cycles, summed over threads
+
+	// Metrics is the full registry snapshot at the end of the measured
+	// phase (every layer's instruments).
+	Metrics *metrics.Snapshot
+	// TraceEvents are the measured phase's trace events when
+	// Config.Trace was set; TraceStart is the phase's start cycle.
+	TraceEvents []sim.TraceEvent
+	TraceStart  uint64
 }
 
 // Throughput returns transactions per microsecond at the simulated clock
@@ -140,6 +152,9 @@ func Run(cfg Config) (Result, error) {
 	})
 
 	start := s.BeginMeasured()
+	if cfg.Trace {
+		s.M.EnableTrace()
+	}
 
 	end := s.Parallel(cfg.Threads, func(c *sim.CPU) {
 		rng := c.Rand()
@@ -162,6 +177,11 @@ func Run(cfg Config) (Result, error) {
 	res.Txs = res.Stats.Commits
 	for i := 0; i < cfg.Threads; i++ {
 		res.Breakdown = res.Breakdown.Add(s.M.CPU(i).Counters())
+	}
+	res.Metrics = s.MetricsSnapshot()
+	if cfg.Trace {
+		res.TraceEvents = s.M.TraceEvents()
+		res.TraceStart = start
 	}
 	return res, nil
 }

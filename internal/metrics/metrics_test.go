@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New(2)
+	c := r.Counter("tm/commits")
+	g := r.Gauge("asf/llb_highwater")
+	h := r.Histogram("asf/readset", []uint64{1, 2, 4})
+
+	c.Inc(0)
+	c.Add(1, 4)
+	g.High(0, 3)
+	g.High(0, 2) // lower: ignored
+	g.Set(1, 7)
+	h.Observe(0, 1)
+	h.Observe(0, 2)
+	h.Observe(1, 3) // bucket ≤4
+	h.Observe(1, 9) // overflow
+
+	s := r.Snapshot()
+	cs, ok := s.Counter("tm/commits")
+	if !ok || cs.Total != 5 || cs.PerCore[0] != 1 || cs.PerCore[1] != 4 {
+		t.Fatalf("counter snapshot: %+v", cs)
+	}
+	gs, ok := s.Gauge("asf/llb_highwater")
+	if !ok || gs.PerCore[0] != 3 || gs.PerCore[1] != 7 {
+		t.Fatalf("gauge snapshot: %+v", gs)
+	}
+	hs, ok := s.Histogram("asf/readset")
+	if !ok || hs.Count != 4 || hs.Sum != 15 || hs.Max != 9 {
+		t.Fatalf("hist snapshot: %+v", hs)
+	}
+	// bounds [1,2,4] + overflow: counts [1,1,1,1]
+	for i, want := range []uint64{1, 1, 1, 1} {
+		if hs.Counts[i] != want {
+			t.Fatalf("hist counts = %v", hs.Counts)
+		}
+	}
+
+	r.Reset()
+	s = r.Snapshot()
+	if cs, _ := s.Counter("tm/commits"); cs.Total != 0 {
+		t.Fatalf("counter survived reset: %+v", cs)
+	}
+	if hs, _ := s.Histogram("asf/readset"); hs.Count != 0 || hs.Max != 0 {
+		t.Fatalf("histogram survived reset: %+v", hs)
+	}
+}
+
+func TestHostSegregation(t *testing.T) {
+	r := New(1)
+	r.Counter("sim/thing")
+	hc := r.HostCounter("host/wall_polls")
+	hc.Add(0, 9)
+	s := r.Snapshot()
+	if _, ok := s.Counter("host/wall_polls"); ok {
+		t.Fatal("host counter leaked into simulated section")
+	}
+	if len(s.Host.Counters) != 1 || s.Host.Counters[0].Total != 9 {
+		t.Fatalf("host section: %+v", s.Host)
+	}
+	if len(s.Sim.Counters) != 1 || s.Sim.Counters[0].Name != "sim/thing" {
+		t.Fatalf("sim section: %+v", s.Sim)
+	}
+}
+
+// TestZeroValueHandlesInert: layers built without a registry must be able
+// to record into zero-value handles safely.
+func TestZeroValueHandlesInert(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	c.Inc(0)
+	g.High(3, 10)
+	h.Observe(7, 42) // must not panic
+}
+
+// TestHotPathZeroAlloc pins the registry's core contract: recording on a
+// sealed registry allocates nothing.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := New(4)
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", PowersOfTwo(10))
+	c.Inc(0) // seal
+
+	n := testing.AllocsPerRun(1000, func() {
+		c.Add(1, 3)
+		g.High(2, 17)
+		h.Observe(3, 100)
+	})
+	if n != 0 {
+		t.Fatalf("hot path allocates %.1f objects per record batch", n)
+	}
+}
+
+func TestRegistrationAfterSealPanics(t *testing.T) {
+	r := New(1)
+	c := r.Counter("a")
+	c.Inc(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("late registration accepted")
+		}
+	}()
+	r.Counter("b")
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	r := New(1)
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name accepted")
+		}
+	}()
+	r.Gauge("x")
+}
+
+// TestSnapshotJSONRoundTrip: snapshots are the payload of BenchReport
+// cells; they must marshal deterministically and round-trip.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New(2)
+	a := r.Counter("a")
+	b := r.Histogram("b", []uint64{8})
+	a.Add(1, 2)
+	b.Observe(0, 3)
+	s1 := r.Snapshot()
+	j1, err := json.Marshal(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(j1, &back); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("round trip changed bytes:\n%s\n%s", j1, j2)
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := PowersOfTwo(4)
+	want := []uint64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PowersOfTwo(4) = %v", got)
+		}
+	}
+}

@@ -26,6 +26,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"asfstack/internal/cache"
 	"asfstack/internal/mem"
@@ -93,6 +94,8 @@ type Machine struct {
 	runnable int
 	solo     int // core id holding a free-run lease, or -1
 
+	running atomic.Bool // a Run call is in flight
+
 	failure any // first workload panic, re-raised after shutdown
 }
 
@@ -151,6 +154,11 @@ func New(cfg Config) *Machine {
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// Running reports whether a Run call is in flight. Statistics and metric
+// snapshots are only coherent at barriers — between Run calls — and the
+// stack's snapshot paths enforce that with this flag.
+func (m *Machine) Running() bool { return m.running.Load() }
+
 // CPU returns core i's handle (for pre-run setup such as installing
 // speculative units).
 func (m *Machine) CPU(i int) *CPU { return m.cpus[i] }
@@ -171,6 +179,8 @@ func (m *Machine) Run(bodies ...func(c *CPU)) uint64 {
 	if len(bodies) > len(m.cpus) {
 		panic("sim: more thread bodies than cores")
 	}
+	m.running.Store(true)
+	defer m.running.Store(false)
 	m.runnable = len(bodies)
 	for i, body := range bodies {
 		c := m.cpus[i]

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"asfstack"
+	"asfstack/internal/metrics"
 	"asfstack/internal/sim"
 	"asfstack/internal/tm"
 )
@@ -49,6 +50,9 @@ type Config struct {
 	// Native runs on the native-reference timing calibration instead of
 	// the Barcelona simulator model (the Fig. 3 accuracy experiment).
 	Native bool
+	// Trace records sim trace events for the measured phase (Chrome trace
+	// export). Off by default: event volume is proportional to work.
+	Trace bool
 }
 
 // Result carries the measurements of a run.
@@ -58,6 +62,14 @@ type Result struct {
 	Millis    float64
 	Stats     tm.Stats
 	Breakdown sim.Breakdown
+
+	// Metrics is the full registry snapshot at the end of the measured
+	// phase (every layer's instruments).
+	Metrics *metrics.Snapshot
+	// TraceEvents are the measured phase's trace events when
+	// Config.Trace was set; TraceStart is the phase's start cycle.
+	TraceEvents []sim.TraceEvent
+	TraceStart  uint64
 }
 
 // New instantiates an application by name.
@@ -109,6 +121,9 @@ func Run(cfg Config) (Result, error) {
 	s.Setup(func(tx tm.Tx) { app.Setup(s, tx, cfg.Threads) })
 
 	start := s.BeginMeasured()
+	if cfg.Trace {
+		s.M.EnableTrace()
+	}
 
 	end := s.Parallel(cfg.Threads, func(c *sim.CPU) {
 		app.Thread(s, c, c.ID(), cfg.Threads)
@@ -119,6 +134,13 @@ func Run(cfg Config) (Result, error) {
 	res.Stats = s.TotalStats()
 	for i := 0; i < cfg.Threads; i++ {
 		res.Breakdown = res.Breakdown.Add(s.M.CPU(i).Counters())
+	}
+	res.Metrics = s.MetricsSnapshot()
+	if cfg.Trace {
+		// Drain before validation runs more simulated work: the trace
+		// should cover exactly the measured phase.
+		res.TraceEvents = s.M.TraceEvents()
+		res.TraceStart = start
 	}
 
 	var verr error

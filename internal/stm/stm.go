@@ -23,6 +23,7 @@ package stm
 
 import (
 	"asfstack/internal/mem"
+	"asfstack/internal/metrics"
 	"asfstack/internal/sim"
 	"asfstack/internal/tm"
 )
@@ -85,6 +86,36 @@ type Runtime struct {
 
 	stats []tm.Stats
 	descs []*txDesc
+
+	met rtMetrics
+}
+
+// rtMetrics holds the runtime's metric handles (zero-value inert).
+type rtMetrics struct {
+	// attempts is the number of attempts each transaction made before
+	// committing (1 = first try).
+	attempts metrics.Histogram
+	// backoff records each contention back-off delay, in cycles.
+	backoff metrics.Histogram
+	// Read/write-set sizes (in entries) observed at commit.
+	readCommit  metrics.Histogram
+	writeCommit metrics.Histogram
+	// serialEntries counts entries into serial-irrevocable mode;
+	// serialCycles accumulates simulated cycles the global token was held.
+	serialEntries metrics.Counter
+	serialCycles  metrics.Counter
+}
+
+// SetMetrics registers the runtime's instruments with reg. Must be called
+// before the first transaction (stack construction does this).
+func (r *Runtime) SetMetrics(reg *metrics.Registry) {
+	r.met.attempts = reg.Histogram("stm/attempts", metrics.PowersOfTwo(8))
+	r.met.backoff = reg.Histogram("stm/backoff_cycles", metrics.PowersOfTwo(16))
+	sizes := metrics.PowersOfTwo(10)
+	r.met.readCommit = reg.Histogram("stm/readset_entries/commit", sizes)
+	r.met.writeCommit = reg.Histogram("stm/writeset_entries/commit", sizes)
+	r.met.serialEntries = reg.Counter("stm/serial_entries")
+	r.met.serialCycles = reg.Counter("stm/serial_cycles")
 }
 
 type readEntry struct {
@@ -106,7 +137,8 @@ type txDesc struct {
 	reads       []readEntry
 	writes      []writeEntry
 	serial      bool
-	forceSerial bool // BecomeIrrevocable requested a serial restart
+	serialStart uint64 // cycle the irrevocability token was acquired
+	forceSerial bool   // BecomeIrrevocable requested a serial restart
 	active      bool
 	depth       int
 
@@ -209,8 +241,13 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 		if committed {
 			if t.serial {
 				r.releaseSerial(c)
+				r.met.serialCycles.Add(c.ID(), c.Now()-t.serialStart)
 				st.Serial++
 			}
+			id := c.ID()
+			r.met.attempts.Observe(id, uint64(retries+1))
+			r.met.readCommit.Observe(id, uint64(len(t.reads)))
+			r.met.writeCommit.Observe(id, uint64(len(t.writes)))
 			t.reset()
 			st.Commits++
 			c.Trace(sim.TraceTxCommit, 0)
@@ -230,6 +267,8 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 		if retries >= r.cfg.MaxRetriesBeforeSerial || t.forceSerial {
 			t.forceSerial = false
 			r.acquireSerial(c)
+			r.met.serialEntries.Inc(c.ID())
+			t.serialStart = c.Now()
 			t.serial = true
 		}
 	}
@@ -240,7 +279,9 @@ func (r *Runtime) backoff(c *sim.CPU, attempt int) {
 	if limit > r.cfg.BackoffMax {
 		limit = r.cfg.BackoffMax
 	}
-	c.Cycles(uint64(c.Rand().Int63n(int64(limit))) + 1)
+	delay := uint64(c.Rand().Int63n(int64(limit))) + 1
+	r.met.backoff.Observe(c.ID(), delay)
+	c.Cycles(delay)
 }
 
 // acquireSerial makes the transaction irrevocable: all other transactions

@@ -51,6 +51,12 @@ type Runtime interface {
 	// after a successful commit.
 	Atomic(c *sim.CPU, body func(tx Tx))
 	// Stats returns core-level outcome counters.
+	//
+	// The counters are owned by the core's goroutine and mutated without
+	// synchronisation while the machine runs; reading them mid-run is a
+	// data race and, worse, an incoherent sample. Callers must read only
+	// at a barrier — between sim.Machine.Run calls (sim.Machine.Running
+	// reports this; the Stack's snapshot paths enforce it).
 	Stats(core int) Stats
 	// ResetStats zeroes all counters (start of the measured phase).
 	ResetStats()

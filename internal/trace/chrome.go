@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"asfstack/internal/sim"
+)
+
+// Chrome trace_event export: the simulator's category and transaction
+// lifecycle events rendered as a Chrome/Perfetto-loadable JSON document
+// (chrome://tracing, https://ui.perfetto.dev). Each cell becomes one
+// process, each simulated core one thread; category dwell becomes complete
+// ("X") slices and transaction lifecycle points become instant ("i")
+// events. Timestamps are microseconds at the simulated 2.2 GHz clock,
+// relative to each cell's measured-phase start.
+
+// ChromeCell is one cell's trace: its label and the events of its measured
+// phase (from sim.Machine.TraceEvents), with the phase's start cycle.
+type ChromeCell struct {
+	Name   string
+	Events []sim.TraceEvent
+	Start  uint64
+}
+
+// chromeEvent is one trace_event entry. Chrome's JSON array format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Cat  string         `json:"cat,omitempty"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const cyclesPerMicro = 2200.0 // simulated 2.2 GHz clock
+
+// WriteChrome renders cells as one Chrome trace_event JSON document.
+func WriteChrome(w io.Writer, cells []ChromeCell) error {
+	var out []chromeEvent
+	for pid, cell := range cells {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": cell.Name},
+		})
+		out = append(out, cellEvents(pid, cell)...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayUnit: "ms"})
+}
+
+func cellEvents(pid int, cell ChromeCell) []chromeEvent {
+	ts := func(cycles uint64) float64 {
+		if cycles < cell.Start {
+			return 0
+		}
+		return float64(cycles-cell.Start) / cyclesPerMicro
+	}
+	var out []chromeEvent
+	// Events arrive per-core chronological (cores concatenated); track
+	// each core's open category slice independently.
+	type openSlice struct {
+		cat   sim.Category
+		since uint64
+		known bool
+	}
+	open := map[int]*openSlice{}
+	closeSlice := func(core int, until uint64) {
+		o := open[core]
+		if o == nil || !o.known {
+			return
+		}
+		if until > o.since {
+			out = append(out, chromeEvent{
+				Name: o.cat.String(), Ph: "X", Pid: pid, Tid: core,
+				Ts: ts(o.since), Dur: float64(until-o.since) / cyclesPerMicro,
+				Cat: "category",
+			})
+		}
+		o.known = false
+	}
+	lastSeen := map[int]uint64{}
+	for _, e := range cell.Events {
+		if e.Time >= cell.Start {
+			lastSeen[e.Core] = e.Time
+		}
+		switch e.Kind {
+		case sim.TraceCategory:
+			closeSlice(e.Core, e.Time)
+			open[e.Core] = &openSlice{cat: sim.Category(e.Arg), since: e.Time, known: true}
+		case sim.TraceTxBegin:
+			out = append(out, chromeEvent{
+				Name: "tx-begin", Ph: "i", Pid: pid, Tid: e.Core,
+				Ts: ts(e.Time), Cat: "tx", S: "t",
+			})
+		case sim.TraceTxCommit:
+			out = append(out, chromeEvent{
+				Name: "tx-commit", Ph: "i", Pid: pid, Tid: e.Core,
+				Ts: ts(e.Time), Cat: "tx", S: "t",
+			})
+		case sim.TraceTxAbort:
+			out = append(out, chromeEvent{
+				Name: "tx-abort", Ph: "i", Pid: pid, Tid: e.Core,
+				Ts: ts(e.Time), Cat: "tx", S: "t",
+				Args: map[string]any{"reason": sim.AbortReason(e.Arg).String()},
+			})
+		}
+	}
+	// Close open slices and emit thread names, in core order so the
+	// document is deterministic.
+	for core := 0; core < 64; core++ {
+		last, seen := lastSeen[core]
+		if seen {
+			closeSlice(core, last)
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: core,
+				Args: map[string]any{"name": fmt.Sprintf("core %d", core)},
+			})
+		}
+	}
+	return out
+}

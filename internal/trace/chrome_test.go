@@ -1,0 +1,75 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"asfstack/internal/sim"
+	"asfstack/internal/trace"
+)
+
+// TestWriteChrome renders a synthetic two-core trace and checks the
+// document structure: valid JSON, per-process metadata, category slices
+// with the right durations, and instant events carrying abort reasons.
+func TestWriteChrome(t *testing.T) {
+	cell := trace.ChromeCell{
+		Name:  "demo cell",
+		Start: 1000,
+		Events: []sim.TraceEvent{
+			// Core 0: one category slice [1000,3200), then a commit.
+			{Core: 0, Time: 1000, Kind: sim.TraceCategory, Arg: uint64(sim.CatTxApp)},
+			{Core: 0, Time: 1100, Kind: sim.TraceTxBegin},
+			{Core: 0, Time: 3200, Kind: sim.TraceCategory, Arg: uint64(sim.CatNonInstr)},
+			{Core: 0, Time: 3200, Kind: sim.TraceTxCommit},
+			// Core 1: an abort with a reason.
+			{Core: 1, Time: 1500, Kind: sim.TraceTxBegin},
+			{Core: 1, Time: 2500, Kind: sim.TraceTxAbort, Arg: uint64(sim.AbortCapacity)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, []trace.ChromeCell{cell}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	byName := map[string][]map[string]any{}
+	for _, e := range doc.TraceEvents {
+		name := e["name"].(string)
+		byName[name] = append(byName[name], e)
+	}
+	if got := byName["process_name"]; len(got) != 1 {
+		t.Fatalf("process_name events = %d, want 1", len(got))
+	}
+	if got := len(byName["thread_name"]); got != 2 {
+		t.Fatalf("thread_name events = %d, want 2 (one per core)", got)
+	}
+	slices := byName[sim.CatTxApp.String()]
+	if len(slices) != 1 {
+		t.Fatalf("tx-app slices = %d, want 1", len(slices))
+	}
+	// [1000,3200) at 2200 cycles/µs: ts=0, dur=1µs.
+	if ts := slices[0]["ts"].(float64); ts != 0 {
+		t.Errorf("slice ts = %v, want 0 (relative to cell start)", ts)
+	}
+	if dur := slices[0]["dur"].(float64); dur != 1 {
+		t.Errorf("slice dur = %v µs, want 1", dur)
+	}
+	aborts := byName["tx-abort"]
+	if len(aborts) != 1 {
+		t.Fatalf("tx-abort events = %d, want 1", len(aborts))
+	}
+	args := aborts[0]["args"].(map[string]any)
+	if args["reason"] != sim.AbortCapacity.String() {
+		t.Errorf("abort reason = %v, want %q", args["reason"], sim.AbortCapacity.String())
+	}
+	if len(byName["tx-begin"]) != 2 || len(byName["tx-commit"]) != 1 {
+		t.Errorf("lifecycle events: begin=%d commit=%d, want 2/1",
+			len(byName["tx-begin"]), len(byName["tx-commit"]))
+	}
+}

@@ -10,7 +10,6 @@ package trace
 
 import (
 	"fmt"
-	"sort"
 
 	"asfstack/internal/sim"
 )
@@ -23,27 +22,31 @@ type CoreBreakdown struct {
 	Aborts    uint64
 }
 
-// Analyze replays events into per-core breakdowns. start is the common
-// time the measured phase began (all cores' clocks were synchronised
-// there); ends[i] is core i's final clock. Events must come from
-// Machine.TraceEvents (per-core chronological).
+// Analyze replays events into per-core breakdowns, one per entry of ends.
+// start is the common time the measured phase began (all cores' clocks were
+// synchronised there); ends[i] is core i's final clock. Events must come
+// from Machine.TraceEvents (per-core chronological).
+//
+// A core with no events still ran: its whole window was spent in the
+// starting category (non-instr, the state SyncClocks leaves every core in),
+// so it gets a breakdown charging start..ends[i] there rather than being
+// dropped from the result.
 func Analyze(events []sim.TraceEvent, start uint64, ends []uint64) ([]CoreBreakdown, error) {
-	perCore := map[int][]sim.TraceEvent{}
+	perCore := make([][]sim.TraceEvent, len(ends))
 	for _, e := range events {
+		if e.Core < 0 || e.Core >= len(ends) {
+			return nil, fmt.Errorf("trace: core %d has no end time", e.Core)
+		}
 		perCore[e.Core] = append(perCore[e.Core], e)
 	}
-	var out []CoreBreakdown
+	out := make([]CoreBreakdown, 0, len(ends))
 	for core, evs := range perCore {
-		if core >= len(ends) {
-			return nil, fmt.Errorf("trace: core %d has no end time", core)
-		}
 		cb, err := analyzeCore(core, evs, start, ends[core])
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, cb)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Core < out[j].Core })
 	return out, nil
 }
 

@@ -73,6 +73,51 @@ func TestOfflineMatchesOnline(t *testing.T) {
 	}
 }
 
+// TestAnalyzeKeepsIdleCores: a core that recorded no events still ran the
+// whole window — spinning or executing uninstrumented code — so it must
+// appear in the result with its full window charged to non-instr.
+// Regression: Analyze used to build its result from the event stream alone
+// and silently dropped idle cores, understating total cycles.
+func TestAnalyzeKeepsIdleCores(t *testing.T) {
+	evs := []sim.TraceEvent{
+		{Core: 1, Time: 10, Kind: sim.TraceCategory, Arg: uint64(sim.CatTxApp)},
+	}
+	cbs, err := trace.Analyze(evs, 0, []uint64{80, 100, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cbs) != 3 {
+		t.Fatalf("got %d cores, want 3 (idle cores dropped)", len(cbs))
+	}
+	for i, cb := range cbs {
+		if cb.Core != i {
+			t.Fatalf("cbs[%d].Core = %d, want %d", i, cb.Core, i)
+		}
+	}
+	if got := cbs[0].Breakdown[sim.CatNonInstr]; got != 80 {
+		t.Errorf("idle core 0: non-instr = %d, want the full 80-cycle window", got)
+	}
+	if got := cbs[2].Breakdown[sim.CatNonInstr]; got != 120 {
+		t.Errorf("idle core 2: non-instr = %d, want the full 120-cycle window", got)
+	}
+	// The active core is charged as before: [0,10) non-instr, [10,100) tx-app.
+	if got := cbs[1].Breakdown[sim.CatNonInstr]; got != 10 {
+		t.Errorf("core 1: non-instr = %d, want 10", got)
+	}
+	if got := cbs[1].Breakdown[sim.CatTxApp]; got != 90 {
+		t.Errorf("core 1: tx-app = %d, want 90", got)
+	}
+}
+
+// TestAnalyzeRejectsUnknownCore: an event from a core with no end time is
+// still an error.
+func TestAnalyzeRejectsUnknownCore(t *testing.T) {
+	evs := []sim.TraceEvent{{Core: 5, Time: 10, Kind: sim.TraceTxBegin}}
+	if _, err := trace.Analyze(evs, 0, []uint64{100}); err == nil {
+		t.Fatal("event from core without an end time accepted")
+	}
+}
+
 // TestAnalyzeRejectsBackwardsTime: malformed traces surface as errors.
 func TestAnalyzeRejectsBackwardsTime(t *testing.T) {
 	evs := []sim.TraceEvent{

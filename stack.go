@@ -25,6 +25,7 @@ import (
 	"asfstack/internal/asf"
 	"asfstack/internal/asftm"
 	"asfstack/internal/mem"
+	"asfstack/internal/metrics"
 	"asfstack/internal/seq"
 	"asfstack/internal/sim"
 	"asfstack/internal/stm"
@@ -66,6 +67,58 @@ type Stack struct {
 	ASFTM *asftm.Runtime
 	// RT is the selected runtime behind the portable ABI.
 	RT tm.Runtime
+	// Metrics is the stack-wide registry: every layer registers its
+	// instruments here during construction, keyed per core. Snapshot via
+	// MetricsSnapshot, which enforces barrier semantics.
+	Metrics *metrics.Registry
+
+	gauges stackGauges
+}
+
+// stackGauges holds the fill-at-barrier handles for quantities other layers
+// already count in their own structs (sim cycle breakdown, cache statistics,
+// tm outcome counters). They are copied into the registry at snapshot time
+// rather than maintained on the hot path.
+type stackGauges struct {
+	simCycles [sim.NumCategories]metrics.Gauge
+
+	loads, stores          metrics.Gauge
+	l1Hits, l2Hits, l3Hits metrics.Gauge
+	c2c, memFills          metrics.Gauge
+	tlb1Miss, tlbWalks     metrics.Gauge
+	evictions              metrics.Gauge
+	l1Resident, l2Resident metrics.Gauge
+
+	tmCommits, tmSerial metrics.Gauge
+	tmAborts            [sim.NumAbortReasons]metrics.Gauge
+	tmMallocAborts      metrics.Gauge
+	tmSTMAborts         metrics.Gauge
+}
+
+func (g *stackGauges) register(reg *metrics.Registry) {
+	for k := 0; k < sim.NumCategories; k++ {
+		g.simCycles[k] = reg.Gauge("sim/cycles/" + sim.Category(k).String())
+	}
+	g.loads = reg.Gauge("cache/loads")
+	g.stores = reg.Gauge("cache/stores")
+	g.l1Hits = reg.Gauge("cache/l1_hits")
+	g.l2Hits = reg.Gauge("cache/l2_hits")
+	g.l3Hits = reg.Gauge("cache/l3_hits")
+	g.c2c = reg.Gauge("cache/c2c_transfers")
+	g.memFills = reg.Gauge("cache/mem_fills")
+	g.tlb1Miss = reg.Gauge("cache/tlb1_misses")
+	g.tlbWalks = reg.Gauge("cache/tlb_walks")
+	g.evictions = reg.Gauge("cache/evictions")
+	g.l1Resident = reg.Gauge("cache/l1_resident_lines")
+	g.l2Resident = reg.Gauge("cache/l2_resident_lines")
+
+	g.tmCommits = reg.Gauge("tm/commits")
+	g.tmSerial = reg.Gauge("tm/serial")
+	for r := 1; r < sim.NumAbortReasons; r++ { // skip AbortNone
+		g.tmAborts[r] = reg.Gauge("tm/aborts/" + sim.AbortReason(r).String())
+	}
+	g.tmMallocAborts = reg.Gauge("tm/malloc_aborts")
+	g.tmSTMAborts = reg.Gauge("tm/stm_aborts")
 }
 
 // New builds a stack. It panics on configuration errors (these are
@@ -89,10 +142,13 @@ func New(opts Options) *Stack {
 	layout := mem.NewLayout(mem.PageSize) // skip page zero
 	heap := tm.NewHeap(m.Mem, layout, opts.Cores, opts.HeapPerCore)
 
-	s := &Stack{M: m, Layout: layout, Heap: heap}
+	s := &Stack{M: m, Layout: layout, Heap: heap, Metrics: metrics.New(opts.Cores)}
+	s.gauges.register(s.Metrics)
 	switch opts.Runtime {
 	case "STM":
-		s.RT = stm.New(m, heap, layout)
+		rt := stm.New(m, heap, layout)
+		rt.SetMetrics(s.Metrics)
+		s.RT = rt
 	case "Sequential", "":
 		s.RT = seq.New(heap, opts.Cores)
 	default:
@@ -101,7 +157,9 @@ func New(opts Options) *Stack {
 			panic(fmt.Sprintf("asfstack: %v (want one of %v)", err, RuntimeNames))
 		}
 		s.ASF = asf.Install(m, v)
+		s.ASF.SetMetrics(s.Metrics)
 		s.ASFTM = asftm.New(s.ASF, heap, m, layout)
+		s.ASFTM.SetMetrics(s.Metrics)
 		s.RT = s.ASFTM
 	}
 	return s
@@ -147,14 +205,65 @@ func (s *Stack) BeginMeasured() uint64 {
 	start := s.M.SyncClocks()
 	s.M.ResetAllCounters()
 	s.RT.ResetStats()
+	s.Metrics.Reset()
 	return start
+}
+
+// fillGauges copies the sim, cache, and tm counters into the registry's
+// gauges. Only valid at a barrier.
+func (s *Stack) fillGauges() {
+	for i := 0; i < s.M.Config().Cores; i++ {
+		b := s.M.CPU(i).Counters()
+		for k := 0; k < sim.NumCategories; k++ {
+			s.gauges.simCycles[k].Set(i, b[k])
+		}
+		cs := s.M.Hier.Stats(i)
+		s.gauges.loads.Set(i, cs.Loads)
+		s.gauges.stores.Set(i, cs.Stores)
+		s.gauges.l1Hits.Set(i, cs.L1Hits)
+		s.gauges.l2Hits.Set(i, cs.L2Hits)
+		s.gauges.l3Hits.Set(i, cs.L3Hits)
+		s.gauges.c2c.Set(i, cs.C2C)
+		s.gauges.memFills.Set(i, cs.MemFills)
+		s.gauges.tlb1Miss.Set(i, cs.TLB1Miss)
+		s.gauges.tlbWalks.Set(i, cs.TLBWalks)
+		s.gauges.evictions.Set(i, cs.Evictions)
+		l1, l2 := s.M.Hier.Occupancy(i)
+		s.gauges.l1Resident.Set(i, uint64(l1))
+		s.gauges.l2Resident.Set(i, uint64(l2))
+
+		st := s.RT.Stats(i)
+		s.gauges.tmCommits.Set(i, st.Commits)
+		s.gauges.tmSerial.Set(i, st.Serial)
+		for r := 1; r < sim.NumAbortReasons; r++ {
+			s.gauges.tmAborts[r].Set(i, st.Aborts[r])
+		}
+		s.gauges.tmMallocAborts.Set(i, st.MallocAborts)
+		s.gauges.tmSTMAborts.Set(i, st.STMAborts)
+	}
+}
+
+// MetricsSnapshot fills the barrier gauges and returns a deterministic
+// snapshot of every registered instrument. It panics if called while the
+// machine is running: metric state is only coherent between Run calls.
+func (s *Stack) MetricsSnapshot() *metrics.Snapshot {
+	if s.M.Running() {
+		panic("asfstack: MetricsSnapshot while the machine is running; snapshots are barrier-only")
+	}
+	s.fillGauges()
+	return s.Metrics.Snapshot()
 }
 
 // Atomic is shorthand for s.RT.Atomic.
 func (s *Stack) Atomic(c *sim.CPU, body func(tx tm.Tx)) { s.RT.Atomic(c, body) }
 
-// TotalStats sums the runtime's per-core statistics.
+// TotalStats sums the runtime's per-core statistics. Like MetricsSnapshot it
+// is barrier-only: the per-core counters are written by core goroutines
+// without synchronisation while a Run call is in flight.
 func (s *Stack) TotalStats() tm.Stats {
+	if s.M.Running() {
+		panic("asfstack: TotalStats while the machine is running; stats are barrier-only")
+	}
 	var t tm.Stats
 	for i := 0; i < s.M.Config().Cores; i++ {
 		t.Add(s.RT.Stats(i))
