@@ -21,5 +21,16 @@ race:
 
 verify: build vet test race
 
+# `make bench` runs the figure benchmarks plus the simulator
+# micro-benchmarks and records the results in $(BENCH_JSON) (section
+# $(BENCH_SECTION); see EXPERIMENTS.md for the schema). The figure sweeps
+# run once (-benchtime 1x); the noise-sensitive op-rate micro-benchmark is
+# re-run longer and its later lines override the 1x pass.
+BENCH_JSON ?= BENCH_PR4.json
+BENCH_SECTION ?= current
+
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -timeout 60m . > BENCH_OUT.txt
+	$(GO) test -run '^$$' -bench BenchmarkSimulatorOpRate -benchtime 2s . >> BENCH_OUT.txt
+	cat BENCH_OUT.txt
+	$(GO) run ./cmd/benchjson -o $(BENCH_JSON) -section $(BENCH_SECTION) < BENCH_OUT.txt

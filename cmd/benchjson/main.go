@@ -1,0 +1,171 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// BENCH_*.json format: one JSON document with named sections (typically
+// "baseline" and "current"), each mapping benchmark name to host ns/op and
+// the benchmark's custom metrics (host_ns/op, sim_ms, simtx/us, ...).
+//
+//	go test -run '^$' -bench . -benchtime 1x . > BENCH_OUT.txt
+//	go run ./cmd/benchjson -o BENCH_PR4.json -section current < BENCH_OUT.txt
+//
+// An existing output file is updated in place: only the named section is
+// replaced, so a committed baseline survives re-runs of the current section.
+// When the same benchmark appears more than once in the input, the last
+// occurrence wins — the Makefile uses that to re-run the noise-sensitive
+// micro-benchmarks with a longer -benchtime after the 1x figure pass.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	schema  = "asfstack/bench-json"
+	version = 1
+)
+
+// entry is one benchmark's measurements.
+type entry struct {
+	// NsPerOp is the host wall time per benchmark iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Iters is the iteration count the measurement averaged over.
+	Iters int64 `json:"iters"`
+	// Metrics carries the benchmark's custom units (host_ns/op, sim_ms,
+	// simtx/us, B/op, ...), keyed by unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type doc struct {
+	Schema   string                      `json:"schema"`
+	Version  int                         `json:"version"`
+	Sections map[string]map[string]entry `json:"sections"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR4.json", "output JSON file (updated in place)")
+	section := flag.String("section", "current", "section of the output file to replace")
+	flag.Parse()
+
+	parsed, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(parsed) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	d := load(*out)
+	d.Sections[*section] = parsed
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(parsed))
+	for n := range parsed {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: wrote %d benchmarks to section %q\n", *out, len(names), *section)
+	for _, n := range names {
+		fmt.Printf("  %-45s %12.2f ns/op\n", n, parsed[n].NsPerOp)
+	}
+}
+
+// load reads an existing output document, or returns an empty one when the
+// file is absent or from an incompatible schema.
+func load(path string) doc {
+	d := doc{Schema: schema, Version: version, Sections: map[string]map[string]entry{}}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return d
+	}
+	var prev doc
+	if json.Unmarshal(data, &prev) != nil || prev.Schema != schema {
+		return d
+	}
+	if prev.Sections != nil {
+		d.Sections = prev.Sections
+	}
+	return d
+}
+
+// parse extracts benchmark result lines:
+//
+//	BenchmarkFig5        1  5086217894 ns/op
+//	BenchmarkSimulatorOpRate/8core  996  2345366 ns/op  293.2 host_ns/op
+func parse(sc *bufio.Scanner) (map[string]entry, error) {
+	res := map[string]entry{}
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := entry{Iters: iters}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			if f[i+1] == "ns/op" {
+				e.NsPerOp = v
+			} else {
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[f[i+1]] = v
+			}
+		}
+		res[f[0]] = e
+	}
+	return stripProcSuffix(res), sc.Err()
+}
+
+// stripProcSuffix drops the -GOMAXPROCS suffix go test appends when procs
+// is not 1, so names are comparable across hosts. The suffix is appended to
+// every benchmark of a run or to none, so it is stripped only when all
+// names share the same trailing -N — names that legitimately end in digits
+// (LLB-256) never match across a whole run.
+func stripProcSuffix(res map[string]entry) map[string]entry {
+	suffix := ""
+	for name := range res {
+		i := strings.LastIndexByte(name, '-')
+		if i < 0 || i+1 == len(name) {
+			return res
+		}
+		for _, r := range name[i+1:] {
+			if r < '0' || r > '9' {
+				return res
+			}
+		}
+		if suffix == "" {
+			suffix = name[i:]
+		} else if suffix != name[i:] {
+			return res
+		}
+	}
+	if suffix == "" {
+		return res
+	}
+	out := make(map[string]entry, len(res))
+	for name, e := range res {
+		out[strings.TrimSuffix(name, suffix)] = e
+	}
+	return out
+}

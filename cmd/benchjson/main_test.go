@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func parseString(t *testing.T, s string) map[string]entry {
+	t.Helper()
+	res, err := parse(bufio.NewScanner(strings.NewReader(s)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParseBenchLines(t *testing.T) {
+	out := `
+goos: linux
+BenchmarkFig5 	       1	5086217894 ns/op
+BenchmarkSimulatorOpRate/solo         	  109178	     21864 ns/op	        21.86 host_ns/op
+BenchmarkSimulatorOpRate/8core        	     996	   2345366 ns/op	       293.2 host_ns/op
+BenchmarkStampGenomeASF 	       2	 512345678 ns/op	        12.5 sim_ms
+PASS
+`
+	res := parseString(t, out)
+	if len(res) != 4 {
+		t.Fatalf("parsed %d entries, want 4: %v", len(res), res)
+	}
+	if e := res["BenchmarkFig5"]; e.NsPerOp != 5086217894 || e.Iters != 1 {
+		t.Fatalf("Fig5 = %+v", e)
+	}
+	if e := res["BenchmarkSimulatorOpRate/8core"]; e.Metrics["host_ns/op"] != 293.2 {
+		t.Fatalf("8core metrics = %+v", e.Metrics)
+	}
+	if e := res["BenchmarkStampGenomeASF"]; e.Metrics["sim_ms"] != 12.5 {
+		t.Fatalf("genome metrics = %+v", e.Metrics)
+	}
+}
+
+func TestLastOccurrenceWins(t *testing.T) {
+	out := `
+BenchmarkSimulatorOpRate/solo 	1	80000 ns/op	80.0 host_ns/op
+BenchmarkSimulatorOpRate/solo 	100000	22000 ns/op	22.0 host_ns/op
+`
+	res := parseString(t, out)
+	if e := res["BenchmarkSimulatorOpRate/solo"]; e.Metrics["host_ns/op"] != 22.0 {
+		t.Fatalf("later line did not win: %+v", e)
+	}
+}
+
+func TestProcSuffixStripping(t *testing.T) {
+	// All names share -8: it is the GOMAXPROCS suffix and must go.
+	res := parseString(t, `
+BenchmarkFig5-8 	1	5086217894 ns/op
+BenchmarkAtomicOverhead/LLB-256-8 	10	1000 ns/op
+`)
+	if _, ok := res["BenchmarkAtomicOverhead/LLB-256"]; !ok {
+		t.Fatalf("suffix not stripped: %v", res)
+	}
+	// Mixed digit endings: legitimate parts of the names, keep them.
+	res = parseString(t, `
+BenchmarkAtomicOverhead/LLB-256 	10	1000 ns/op
+BenchmarkAtomicOverhead/LLB-8 	10	1000 ns/op
+`)
+	if _, ok := res["BenchmarkAtomicOverhead/LLB-256"]; !ok {
+		t.Fatalf("legitimate digit suffix stripped: %v", res)
+	}
+}

@@ -13,11 +13,16 @@ type entry struct {
 	lastUse  uint64
 }
 
-// array is a set-associative cache array with LRU replacement.
+// array is a set-associative cache array with LRU replacement. The ways of
+// set s occupy ents[s*assoc : (s+1)*assoc]; lookups scan the (small) set
+// directly rather than going through a side map — at 2–16 ways the scan
+// stays within a couple of cache lines and beats map hashing, and it keeps
+// the hot path free of map machinery entirely.
 type array struct {
-	sets    [][]entry
+	ents    []entry
+	assoc   int
 	setMask mem.Addr
-	index   map[mem.Addr]*entry // line -> entry, for O(1) lookup
+	nValid  int // resident-line count, backing the occupancy gauges
 }
 
 func newArray(sizeBytes, assoc int) *array {
@@ -25,25 +30,25 @@ func newArray(sizeBytes, assoc int) *array {
 	if nSets == 0 || nSets&(nSets-1) != 0 {
 		panic("cache: set count must be a power of two")
 	}
-	a := &array{
-		sets:    make([][]entry, nSets),
+	return &array{
+		ents:    make([]entry, nSets*assoc),
+		assoc:   assoc,
 		setMask: mem.Addr(nSets - 1),
-		index:   make(map[mem.Addr]*entry, sizeBytes/mem.LineSize),
 	}
-	for i := range a.sets {
-		a.sets[i] = make([]entry, assoc)
-	}
-	return a
 }
 
 func (a *array) setFor(line mem.Addr) []entry {
-	return a.sets[(line>>mem.LineShift)&a.setMask]
+	s := int((line>>mem.LineShift)&a.setMask) * a.assoc
+	return a.ents[s : s+a.assoc]
 }
 
 // lookup returns the entry for line, or nil.
 func (a *array) lookup(line mem.Addr) *entry {
-	if e, ok := a.index[line]; ok {
-		return e
+	set := a.setFor(line)
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			return &set[i]
+		}
 	}
 	return nil
 }
@@ -65,40 +70,43 @@ func (a *array) insert(line mem.Addr, now uint64) (victim entry, evicted bool) {
 	}
 	if slot.valid {
 		victim, evicted = *slot, true
-		delete(a.index, slot.line)
+	} else {
+		a.nValid++
 	}
 	*slot = entry{line: line, valid: true, lastUse: now}
-	a.index[line] = slot
 	return victim, evicted
 }
 
 // remove invalidates line if present.
 func (a *array) remove(line mem.Addr) {
-	if e, ok := a.index[line]; ok {
+	if e := a.lookup(line); e != nil {
 		*e = entry{}
-		delete(a.index, line)
+		a.nValid--
 	}
 }
 
 // forEach visits every valid entry in (set, way) order. Iteration must be
-// deterministic: FlushPrivate refills L3 in this order, and Go map order
+// deterministic: FlushPrivate refills L3 in this order, and hash order
 // would leak into L3's LRU state and make measured-phase timings vary from
 // run to run.
 func (a *array) forEach(fn func(*entry)) {
-	for i := range a.sets {
-		set := a.sets[i]
-		for j := range set {
-			if set[j].valid {
-				fn(&set[j])
-			}
+	for i := range a.ents {
+		if a.ents[i].valid {
+			fn(&a.ents[i])
 		}
 	}
 }
 
 // tlbArray is a set-associative TLB with LRU replacement over page numbers.
+// last caches the most recent hit: consecutive accesses overwhelmingly land
+// on the same page, and the pointer check skips the set scan (48 ways for
+// the fully associative L1 TLB). The cached entry is in the array proper,
+// so the lastUse update through it keeps LRU state exactly as a scan would.
 type tlbArray struct {
-	sets    [][]tlbEntry
+	ents    []tlbEntry
+	assoc   int
 	setMask mem.Addr
+	last    *tlbEntry
 }
 
 type tlbEntry struct {
@@ -118,22 +126,28 @@ func newTLB(entries, assoc int) *tlbArray {
 	for p < nSets {
 		p <<= 1
 	}
-	t := &tlbArray{sets: make([][]tlbEntry, p), setMask: mem.Addr(p - 1)}
-	for i := range t.sets {
-		t.sets[i] = make([]tlbEntry, assoc)
+	return &tlbArray{
+		ents:    make([]tlbEntry, p*assoc),
+		assoc:   assoc,
+		setMask: mem.Addr(p - 1),
 	}
-	return t
 }
 
 func (t *tlbArray) setFor(page mem.Addr) []tlbEntry {
-	return t.sets[(page>>mem.PageShift)&t.setMask]
+	s := int((page>>mem.PageShift)&t.setMask) * t.assoc
+	return t.ents[s : s+t.assoc]
 }
 
 func (t *tlbArray) lookup(page mem.Addr, now uint64) bool {
+	if e := t.last; e != nil && e.valid && e.page == page {
+		e.lastUse = now
+		return true
+	}
 	set := t.setFor(page)
 	for i := range set {
 		if set[i].valid && set[i].page == page {
 			set[i].lastUse = now
+			t.last = &set[i]
 			return true
 		}
 	}
@@ -154,12 +168,12 @@ func (t *tlbArray) insert(page mem.Addr, now uint64) {
 		}
 	}
 	*slot = tlbEntry{page: page, valid: true, lastUse: now}
+	t.last = slot
 }
 
 func (t *tlbArray) flush() {
-	for i := range t.sets {
-		for j := range t.sets[i] {
-			t.sets[i][j] = tlbEntry{}
-		}
+	for i := range t.ents {
+		t.ents[i] = tlbEntry{}
 	}
+	t.last = nil
 }

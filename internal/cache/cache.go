@@ -123,7 +123,7 @@ type Hierarchy struct {
 	cfg   Config
 	cores []*coreCaches
 	l3    *array
-	dir   map[mem.Addr]*lineState
+	dir   dirTable
 	stats []Stats
 
 	onEvict EvictFn
@@ -146,9 +146,9 @@ func New(n int, cfg Config) *Hierarchy {
 	h := &Hierarchy{
 		cfg:   cfg,
 		l3:    newArray(cfg.L3Size, cfg.L3Assoc),
-		dir:   make(map[mem.Addr]*lineState),
 		stats: make([]Stats, n),
 	}
+	h.dir.init()
 	for i := 0; i < n; i++ {
 		h.cores = append(h.cores, &coreCaches{
 			l1:   newArray(cfg.L1Size, cfg.L1Assoc),
@@ -169,25 +169,25 @@ func (h *Hierarchy) Stats(c int) Stats { return h.stats[c] }
 
 // Occupancy reports how many lines are resident in core c's private L1 and
 // L2 — the occupancy gauges of the metrics layer. O(1): the arrays keep a
-// line index for lookup.
+// resident-line count.
 func (h *Hierarchy) Occupancy(c int) (l1, l2 int) {
 	cc := h.cores[c]
-	return len(cc.l1.index), len(cc.l2.index)
+	return cc.l1.nValid, cc.l2.nValid
 }
 
 // L3Occupancy reports how many lines are resident in the shared L3.
-func (h *Hierarchy) L3Occupancy() int { return len(h.l3.index) }
+func (h *Hierarchy) L3Occupancy() int { return h.l3.nValid }
 
 // NumCores returns the number of cores the hierarchy was built for.
 func (h *Hierarchy) NumCores() int { return len(h.cores) }
 
+// state returns the coherence-directory entry for line, creating a neutral
+// one on first touch. The returned pointer is valid until the next insertion
+// of a never-seen line (which may grow the table); within one Access, only
+// the initial state() call can insert — every other line consulted (victims,
+// remote holders) has been through Access before and is already present.
 func (h *Hierarchy) state(line mem.Addr) *lineState {
-	s, ok := h.dir[line]
-	if !ok {
-		s = &lineState{owner: -1}
-		h.dir[line] = s
-	}
-	return s
+	return h.dir.getOrInsert(line)
 }
 
 // Access simulates core c touching addr (write=true for stores) and returns
@@ -213,20 +213,23 @@ func (h *Hierarchy) Access(c int, addr mem.Addr, write bool) AccessResult {
 		}
 	}
 
-	ls := h.state(line)
-	mask := uint32(1) << uint(c)
-
 	if e := cc.l1.lookup(line); e != nil {
+		// L1 hit: plain reads need no directory consultation at all —
+		// an L1-resident line always has a directory entry (entries are
+		// never deleted), and reads don't change coherence state.
 		e.lastUse = h.tick
 		res.Level = L1
 		res.Cycles += h.cfg.L1Lat
 		h.stats[c].L1Hits++
 		if write {
-			res.Cycles += h.upgrade(c, line, ls)
+			res.Cycles += h.upgrade(c, line, h.state(line))
 			e.dirty = true
 		}
 		return res
 	}
+
+	ls := h.state(line)
+	mask := uint32(1) << uint(c)
 
 	// L1 miss: find the line further out, then fill into L1.
 	switch {

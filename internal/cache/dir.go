@@ -1,0 +1,87 @@
+package cache
+
+import "asfstack/internal/mem"
+
+// dirTable is the flat coherence directory: an open-addressed hash table
+// mapping line addresses to lineState values stored inline. It replaces the
+// previous map[mem.Addr]*lineState, which paid a heap allocation per tracked
+// line and Go map hashing on every access.
+//
+// Invariants the rest of the hierarchy relies on:
+//
+//   - Entries are never deleted (the old map never deleted either; a line
+//     whose holders mask drains to zero simply stays with neutral state).
+//   - Pointers returned by getOrInsert stay valid until the next insertion
+//     that grows the table. The hierarchy only inserts for lines that were
+//     never accessed before — the initial state() call in Access — so all
+//     later state() calls during the same access resolve to existing slots
+//     and cannot move memory.
+//   - The table is never iterated, so slot order cannot leak into simulated
+//     timing (the determinism property PR 1 established for the arrays).
+type dirTable struct {
+	slots []dirSlot
+	used  int
+	shift uint // 64 - log2(len(slots)); used by the multiplicative hash
+}
+
+// dirSlot is one open-addressing slot. Lines are 64-byte aligned, so line|1
+// is never zero and never collides with another line: key==0 means empty.
+type dirSlot struct {
+	key   uint64
+	state lineState
+}
+
+const dirMinSlots = 1 << 10
+
+// fibMult is 2^64 / phi, the standard multiplicative-hashing constant: the
+// high bits of line*fibMult are well mixed even for sequential lines.
+const fibMult = 0x9E3779B97F4A7C15
+
+func (d *dirTable) init() {
+	d.slots = make([]dirSlot, dirMinSlots)
+	d.used = 0
+	d.shift = 64 - 10
+}
+
+// getOrInsert returns the state for line, creating a neutral entry (no
+// holders, no owner) on first touch — the same semantics as the old map's
+// state() helper.
+func (d *dirTable) getOrInsert(line mem.Addr) *lineState {
+	key := uint64(line) | 1
+	mask := uint64(len(d.slots) - 1)
+	i := (uint64(line) * fibMult) >> d.shift
+	for {
+		s := &d.slots[i]
+		if s.key == key {
+			return &s.state
+		}
+		if s.key == 0 {
+			if d.used >= len(d.slots)*3/4 {
+				d.grow()
+				return d.getOrInsert(line)
+			}
+			d.used++
+			s.key = key
+			s.state = lineState{owner: -1}
+			return &s.state
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (d *dirTable) grow() {
+	old := d.slots
+	d.slots = make([]dirSlot, len(old)*2)
+	d.shift--
+	mask := uint64(len(d.slots) - 1)
+	for _, s := range old {
+		if s.key == 0 {
+			continue
+		}
+		i := ((s.key &^ 1) * fibMult) >> d.shift
+		for d.slots[i].key != 0 {
+			i = (i + 1) & mask
+		}
+		d.slots[i] = s
+	}
+}

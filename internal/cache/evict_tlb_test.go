@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"testing"
+
+	"asfstack/internal/mem"
+)
+
+type evictEvent struct {
+	core int
+	line mem.Addr
+	spec bool
+}
+
+func recordEvictions(h *Hierarchy) *[]evictEvent {
+	var evs []evictEvent
+	h.SetEvictHook(func(core int, line mem.Addr, spec bool) {
+		evs = append(evs, evictEvent{core, line, spec})
+	})
+	return &evs
+}
+
+// TestEvictHookOnCoherenceInvalidation: a remote write invalidating a
+// spec-marked line must surface the mark through the eviction hook — losing
+// the line to coherence means ASF can no longer monitor it, exactly like a
+// capacity displacement.
+func TestEvictHookOnCoherenceInvalidation(t *testing.T) {
+	h := New(2, Barcelona())
+	line := mem.Addr(0x7000)
+	h.Access(0, line, false)
+	if !h.SetSpecRead(0, line, true) {
+		t.Fatal("SetSpecRead failed on a just-accessed line")
+	}
+	evs := recordEvictions(h)
+
+	h.Access(1, line, true) // write probe invalidates core 0's copy
+
+	if len(*evs) != 1 {
+		t.Fatalf("events = %+v, want exactly one invalidation", *evs)
+	}
+	got := (*evs)[0]
+	if got.core != 0 || got.line != line || !got.spec {
+		t.Fatalf("invalidation event = %+v, want {0 %v true}", got, line)
+	}
+	if h.L1Resident(0, line) {
+		t.Fatal("invalidated line still L1-resident")
+	}
+	if h.Stats(0).Evictions != 1 {
+		t.Fatalf("core 0 evictions = %d, want 1", h.Stats(0).Evictions)
+	}
+}
+
+// TestEvictHookOnL1Displacement: displacing a spec-marked line whose mark
+// cannot follow into L2 (the line is already L2-resident, so the metadata
+// slot exists without the mark) must report the loss with specRead=true;
+// displacing unmarked lines must report nothing.
+func TestEvictHookOnL1Displacement(t *testing.T) {
+	h := New(1, Barcelona())
+	stride := mem.Addr(512 * mem.LineSize) // same L1 set every stride
+	a := mem.Addr(0x8000)
+	h.Access(0, a, false)
+	if !h.SetSpecRead(0, a, true) {
+		t.Fatal("SetSpecRead failed")
+	}
+	evs := recordEvictions(h)
+
+	// Two more lines in the same 2-way set displace a (the LRU way).
+	h.Access(0, a+stride, false)
+	h.Access(0, a+2*stride, false)
+
+	if h.L1Resident(0, a) {
+		t.Fatal("line survived a 3-way thrash of a 2-way set")
+	}
+	var marked []evictEvent
+	for _, e := range *evs {
+		if e.spec {
+			marked = append(marked, e)
+		}
+	}
+	if len(marked) != 1 || marked[0].line != a || marked[0].core != 0 {
+		t.Fatalf("spec-marked displacement events = %+v, want exactly {0 %v true}", *evs, a)
+	}
+}
+
+// TestTLBWalkAndL2TLBCharges: tlbLookup must charge the configured costs —
+// a full WalkLat on a cold page, nothing on an L1-TLB hit, and TLB2Lat when
+// the translation fell out of the small L1 TLB but survives in the L2 TLB.
+func TestTLBWalkAndL2TLBCharges(t *testing.T) {
+	cfg := Barcelona()
+	h := New(1, cfg)
+
+	// Cold page: full page-table walk on top of the RAM fill.
+	r := h.Access(0, 0x100000, false)
+	if !r.TLBMiss || r.Cycles != cfg.WalkLat+cfg.MemLat {
+		t.Fatalf("cold access = %+v, want walk(%d)+mem(%d)", r, cfg.WalkLat, cfg.MemLat)
+	}
+	// Same line again: L1 cache hit, L1 TLB hit — only the load-to-use cost.
+	r = h.Access(0, 0x100000, false)
+	if r.TLBMiss || r.Cycles != cfg.L1Lat {
+		t.Fatalf("warm access = %+v, want L1 hit at %d cycles", r, cfg.L1Lat)
+	}
+
+	// Touch enough distinct pages to push the first translation out of the
+	// fully associative L1 TLB (TLB1Entries ways) while the much larger L2
+	// TLB retains it. The one-line offset keeps every filler access out of
+	// L1 set 0 (multiples of 64 sets + 1), so the probe line stays L1-hot.
+	for i := 1; i <= cfg.TLB1Entries; i++ {
+		h.Access(0, mem.Addr(0x100000+i*mem.PageSize+mem.LineSize), false)
+	}
+	r = h.Access(0, 0x100000, false)
+	if r.TLBMiss {
+		t.Fatal("translation fell out of the L2 TLB too")
+	}
+	if r.Cycles != cfg.TLB2Lat+cfg.L1Lat {
+		t.Fatalf("L2-TLB hit = %+v, want tlb2(%d)+L1(%d)", r, cfg.TLB2Lat, cfg.L1Lat)
+	}
+	st := h.Stats(0)
+	if st.TLB1Miss == 0 || st.TLBWalks == 0 {
+		t.Fatalf("stats = %+v, want nonzero TLB1Miss and TLBWalks", st)
+	}
+}
+
+// TestFlushTLBChargesWalk: after FlushTLB the next load must pay the full
+// walk again even though the data is still cached.
+func TestFlushTLBChargesWalk(t *testing.T) {
+	cfg := Barcelona()
+	h := New(1, cfg)
+	h.Access(0, 0x200000, false)
+	walksBefore := h.Stats(0).TLBWalks
+	h.FlushTLB(0)
+	r := h.Access(0, 0x200000, false)
+	if !r.TLBMiss || r.Cycles != cfg.WalkLat+cfg.L1Lat {
+		t.Fatalf("post-flush access = %+v, want walk(%d)+L1(%d)", r, cfg.WalkLat, cfg.L1Lat)
+	}
+	if got := h.Stats(0).TLBWalks; got != walksBefore+1 {
+		t.Fatalf("walks = %d, want %d", got, walksBefore+1)
+	}
+}

@@ -59,8 +59,28 @@ type page struct {
 type Memory struct {
 	pages map[Addr]*page
 
+	// cache is a small direct-mapped page cache that skips the map lookup:
+	// accesses are heavily page-local per core, but cores interleave, so a
+	// single entry thrashes. Slots are indexed by a multiplicative hash of
+	// the page number. Pages are never removed, so cached pointers cannot
+	// dangle.
+	cache [pageCacheSlots]pageCacheEnt
+
 	// faultedPages counts demand-paging faults taken so far.
 	faultedPages uint64
+}
+
+const pageCacheSlots = 256 // power of two
+
+type pageCacheEnt struct {
+	pa Addr
+	p  *page // nil marks an empty slot
+}
+
+// cacheIdx spreads page numbers across the cache slots; neighbouring pages
+// and same-offset pages of different regions must not collide.
+func cacheIdx(pa Addr) int {
+	return int((uint64(pa>>PageShift) * 0x9E3779B97F4A7C15) >> 56)
 }
 
 // New returns an empty memory. Every page starts non-present; the first
@@ -71,18 +91,34 @@ func New() *Memory {
 }
 
 func (m *Memory) pageFor(a Addr) *page {
-	p, ok := m.pages[a.Page()]
+	pa := a.Page()
+	e := &m.cache[cacheIdx(pa)]
+	if e.p != nil && e.pa == pa {
+		return e.p
+	}
+	p, ok := m.pages[pa]
 	if !ok {
 		p = &page{}
-		m.pages[a.Page()] = p
+		m.pages[pa] = p
 	}
+	e.pa, e.p = pa, p
 	return p
 }
 
-// Present reports whether the page containing a has been installed.
+// Present reports whether the page containing a has been installed. Unlike
+// pageFor it never materialises the page.
 func (m *Memory) Present(a Addr) bool {
-	p, ok := m.pages[a.Page()]
-	return ok && p.present
+	pa := a.Page()
+	e := &m.cache[cacheIdx(pa)]
+	if e.p != nil && e.pa == pa {
+		return e.p.present
+	}
+	p, ok := m.pages[pa]
+	if !ok {
+		return false
+	}
+	e.pa, e.p = pa, p
+	return p.present
 }
 
 // EnsurePresent installs the page containing a, returning true if this

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 
 	"asfstack/internal/mem"
 )
@@ -28,11 +30,17 @@ type CPU struct {
 	id int
 	m  *Machine
 
-	// Scheduling.
-	turn    chan struct{}
-	holding bool
-	running bool
-	everRan bool
+	// Scheduling. The turn token is handed directly from core to core
+	// through slot; work is the persistent worker goroutine's inbox.
+	// leaseKey bounds the core's run-ahead: it may keep the turn while
+	// its own packed (clock<<coreBits|id) key stays below it (see sim.go).
+	slot      chan struct{}
+	work      chan func()
+	leaseKey  uint64
+	holding   bool
+	checkedIn bool
+	running   bool
+	everRan   bool
 
 	// Time.
 	now       uint64
@@ -43,6 +51,12 @@ type CPU struct {
 	// Speculation.
 	spec         SpecUnit
 	pendingAbort AbortReason
+
+	// presentPage is the page of this core's most recent access that was
+	// known present. Presence is monotonic (pages are installed, never
+	// evicted), so a match lets beforeAccess skip the Memory lookup.
+	// Initialised to an unaligned sentinel that no page address equals.
+	presentPage mem.Addr
 
 	// Accounting.
 	cat      Category
@@ -57,16 +71,21 @@ type CPU struct {
 
 func newCPU(m *Machine, id int) *CPU {
 	c := &CPU{
-		id:   id,
-		m:    m,
-		turn: make(chan struct{}),
-		rng:  rand.New(rand.NewSource(m.cfg.Seed*7919 + int64(id)*104729 + 1)),
+		id:          id,
+		m:           m,
+		slot:        make(chan struct{}, 1),
+		work:        make(chan func(), 1),
+		presentPage: ^mem.Addr(0), // unaligned: matches no page
+		rng:         rand.New(rand.NewSource(m.cfg.Seed*7919 + int64(id)*104729 + 1)),
 	}
 	if m.cfg.TimerInterval > 0 {
 		c.nextTimer = m.cfg.TimerInterval
 	}
 	return c
 }
+
+// key packs the core's (clock, id) scheduling priority into one word.
+func (c *CPU) key() uint64 { return c.now<<coreBits | uint64(c.id) }
 
 // ID returns the core number.
 func (c *CPU) ID() int { return c.id }
@@ -86,30 +105,114 @@ func (c *CPU) SetSpecUnit(u SpecUnit) { c.spec = u }
 // SpecUnit returns the installed speculative unit, or nil.
 func (c *CPU) SpecUnit() SpecUnit { return c.spec }
 
-// --- engine rendezvous -------------------------------------------------
+// --- turn rendezvous -----------------------------------------------------
 
 // acquire obtains the global turn. On return the core may touch all shared
 // simulator state until it finishes the current operation.
+//
+// The caller has already folded batched compute into the clock
+// (flushCycles), so c.key() here is exactly the priority the old central
+// engine would have scanned when this core posted its wait event. holding
+// is only ever true on entry when an abort panic unwound past endOp — that
+// operation deliberately keeps the turn through the next operation.
 func (c *CPU) acquire() {
 	c.everRan = true
 	if c.holding {
 		return
 	}
-	if c.m.solo == c.id {
+	m := c.m
+	if !c.checkedIn {
+		// First yield of this Run: report in and wait for the startup
+		// grant (Run collects every core before granting the minimum).
+		c.checkedIn = true
+		m.checkins <- c.id
+		<-c.slot
 		c.holding = true
 		return
 	}
-	c.m.events <- event{core: c.id}
-	<-c.turn
+	// The token is still physically here (hand-off only happens below; no
+	// other core has run since our last grant, so the waiting set — and
+	// with it the lease — is unchanged). Run-ahead fast path: if our key
+	// is still below every waiting core's, the engine would re-pick us
+	// anyway; keep the turn with no synchronization at all.
+	if c.key() < c.leaseKey {
+		c.holding = true
+		return
+	}
+	// Lease expired: join the waiting set and hand the token to the new
+	// earliest core, then park until it comes back.
+	next := m.heapPushPop(c.key())
+	if next&coreMask == uint64(c.id) {
+		// Defensive: the lease expired, so our key is >= the heap top and
+		// the fused push-pop cannot hand our own key back — but renewing
+		// the lease is harmless.
+		if len(m.heap) > 0 {
+			c.leaseKey = m.heap[0]
+		} else {
+			c.leaseKey = leaseFree
+		}
+		c.holding = true
+		return
+	}
+	m.grant(next)
+	// Optimistic spin-free yield: in a steady rotation every other core
+	// takes its turn and the token comes back while this goroutine is
+	// still runnable. One Gosched lets that happen; the recv then finds
+	// the token already buffered and never parks, and the corresponding
+	// send never had to wake anyone. Irregular schedules fall through to
+	// an ordinary blocking recv after the single yield.
+	select {
+	case <-c.slot:
+	default:
+		runtime.Gosched()
+		<-c.slot
+	}
 	c.holding = true
 }
 
-// endOp relinquishes the turn logically; the engine learns about it at the
-// next acquire. No shared state may be touched after endOp.
+// endOp relinquishes the turn logically. The token stays with the core; the
+// next acquire decides — against the clock with compute folded in — whether
+// the run-ahead lease still holds or the token must be handed off. No shared
+// state may be touched between endOp and the next acquire.
 func (c *CPU) endOp() {
-	if c.m.solo != c.id {
-		c.holding = false
+	c.holding = false
+}
+
+// runBody executes one Run's thread body on the worker goroutine and
+// performs finish bookkeeping: the finishing core takes its turn like any
+// other yield (so the waiting-set minimum stays well defined), retires
+// itself, and passes the token on — or signals Run when it was the last.
+func (c *CPU) runBody(body func(*CPU)) {
+	defer c.finish()
+	body(c)
+}
+
+func (c *CPU) finish() {
+	r := recover()
+	c.flushCycles()
+	m := c.m
+	if !c.checkedIn {
+		// The body performed no globally ordered operation (or died
+		// before its first); check in so the startup barrier completes,
+		// and wait for the turn to retire under it.
+		c.checkedIn = true
+		m.checkins <- c.id
+		<-c.slot
 	}
+	// The token is here: either the lease kept it, or it was never handed
+	// off after the last endOp (hand-off happens at acquire, and there was
+	// no next acquire).
+	if r != nil && m.failure == nil {
+		m.failure = fmt.Sprintf("core %d: %v", c.id, r)
+	}
+	c.holding = false
+	c.running = false
+	m.runnable--
+	if m.runnable == 0 {
+		m.done <- struct{}{}
+		return
+	}
+	m.grant(m.heapPop())
 }
 
 // flushCycles folds batched compute into the clock.
@@ -143,9 +246,21 @@ func (c *CPU) Cycles(n uint64) { c.pending += n }
 
 // checkOSEvents delivers any timer interrupt that became due. Must be
 // called holding the turn. Aborts an active speculative region: all
-// privilege-level switches abort ASF regions (§2.2).
+// privilege-level switches abort ASF regions (§2.2). Small enough to
+// inline; the uncommon work lives in deliverTimers.
 func (c *CPU) checkOSEvents() {
-	for c.m.cfg.TimerInterval > 0 && c.now >= c.nextTimer {
+	if c.nextTimer != 0 && c.now >= c.nextTimer {
+		c.deliverTimers()
+	}
+	if c.pendingAbort != AbortNone {
+		c.deliverPendingAbort()
+	}
+}
+
+// deliverTimers raises every timer interrupt that became due. nextTimer is
+// nonzero exactly when Config.TimerInterval is (newCPU, SyncClocks).
+func (c *CPU) deliverTimers() {
+	for c.now >= c.nextTimer {
 		c.nextTimer += c.m.cfg.TimerInterval
 		c.charge(c.m.cfg.InterruptCost)
 		c.m.Hier.FlushTLB(c.id)
@@ -153,7 +268,6 @@ func (c *CPU) checkOSEvents() {
 			c.spec.AsyncAbort(AbortInterrupt)
 		}
 	}
-	c.deliverPendingAbort()
 }
 
 // deliverPendingAbort raises any abort posted asynchronously (conflict from
@@ -345,10 +459,16 @@ func (c *CPU) accessStore(a mem.Addr, v mem.Word, f Flags) {
 // misses, by contrast, never abort (unlike Sun Rock) — they are handled
 // silently by the cache model's page walker.
 func (c *CPU) beforeAccess(a mem.Addr, write bool) {
+	pa := a.Page()
+	if pa == c.presentPage {
+		return
+	}
 	if c.m.Mem.Present(a) {
+		c.presentPage = pa
 		return
 	}
 	c.m.Mem.EnsurePresent(a)
+	c.presentPage = pa
 	c.charge(c.m.cfg.PageFaultCost)
 	if c.spec != nil && c.spec.Active() {
 		c.spec.AsyncAbort(AbortPageFault)

@@ -7,25 +7,37 @@
 //
 // # Execution model
 //
-// Each simulated core runs its thread body in a goroutine. Every memory
-// operation is a rendezvous with the engine: the engine always resumes the
-// core with the smallest local cycle clock (ties broken by core id), the
-// core performs exactly one operation against the shared simulator state,
-// advances its clock by the operation's latency, and yields. Because at most
-// one core ever holds the "turn", all simulator state is single-threaded and
-// runs are bit-for-bit reproducible for a given seed.
+// Each simulated core runs its thread body on a persistent worker goroutine.
+// Every memory operation is globally ordered: the core with the smallest
+// local cycle clock (ties broken by core id) performs exactly one operation
+// against the shared simulator state, advances its clock by the operation's
+// latency, and yields. Because at most one core ever holds the turn token,
+// all simulator state is single-threaded and runs are bit-for-bit
+// reproducible for a given seed.
+//
+// The turn is not brokered by a central engine goroutine. Instead the token
+// is handed directly from core to core: each grant carries a *run-ahead
+// lease* — "run until your clock reaches the earliest waiting core's clock"
+// — taken from an index min-heap of waiting cores keyed by (clock, id).
+// While the lease holds, the core would be re-picked on every yield anyway,
+// so it simply keeps executing with no synchronization at all; when the
+// lease expires it pushes itself into the heap, pops the new minimum, and
+// hands the token to that core's hand-off slot. One goroutine switch per
+// rendezvous instead of two, and zero for clock-gap stretches.
 //
 // Pure compute (Exec/Cycles) is batched locally and folded into the clock at
 // the next rendezvous, so simulation cost is proportional to the number of
 // memory operations, not instructions.
 //
-// When only one runnable core remains, the engine grants it a free-running
-// lease and the rendezvous overhead disappears — single-threaded
-// configurations (sequential baselines, Table 1) simulate at full speed.
+// When only one runnable core remains its lease is unbounded — the old
+// free-running "solo" special case falls out of the lease rule — and
+// single-threaded configurations (sequential baselines, Table 1) simulate
+// at full speed.
 package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"asfstack/internal/cache"
@@ -82,6 +94,19 @@ func NativeReference(cores int) Config {
 	return cfg
 }
 
+// Scheduling keys pack (clock, id) into one uint64 so the min-heap compares
+// a single word: clock in the high bits, core id in the low coreBits. The
+// lexicographic (clock, id) order the engine has always used is exactly
+// numeric order on the packed key.
+const (
+	coreBits = 5
+	coreMask = (1 << coreBits) - 1
+
+	// leaseFree is the unbounded lease granted when no other core is
+	// waiting: every key compares below it, so the holder never yields.
+	leaseFree = ^uint64(0)
+)
+
 // Machine is one simulated system: memory, caches, cores, and OS model.
 type Machine struct {
 	cfg  Config
@@ -89,10 +114,17 @@ type Machine struct {
 	Hier *cache.Hierarchy
 	cpus []*CPU
 
-	hook     AccessHook
-	events   chan event
+	hook AccessHook
+
+	// Scheduling state. Guarded by possession of the turn token except
+	// during Run's startup collection, when no core holds it.
+	checkins chan int      // one per core per Run: "I reached my first yield"
+	done     chan struct{} // last finishing core -> Run
 	runnable int
-	solo     int // core id holding a free-run lease, or -1
+	heap     []uint64 // packed (clock<<coreBits|id) keys of waiting cores
+
+	workersUp bool
+	closed    atomic.Bool
 
 	running atomic.Bool // a Run call is in flight
 
@@ -125,11 +157,6 @@ const (
 	FPre
 )
 
-type event struct {
-	core   int
-	finish bool
-}
-
 // New builds a machine. Thread bodies are supplied to Run.
 func New(cfg Config) *Machine {
 	if cfg.Cores <= 0 || cfg.Cores > 32 {
@@ -139,15 +166,20 @@ func New(cfg Config) *Machine {
 		cfg.IssueWidth = 3
 	}
 	m := &Machine{
-		cfg:    cfg,
-		Mem:    mem.New(),
-		Hier:   cache.New(cfg.Cores, cfg.Cache),
-		events: make(chan event, cfg.Cores),
-		solo:   -1,
+		cfg:      cfg,
+		Mem:      mem.New(),
+		Hier:     cache.New(cfg.Cores, cfg.Cache),
+		checkins: make(chan int, cfg.Cores),
+		done:     make(chan struct{}),
+		heap:     make([]uint64, 0, cfg.Cores),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		m.cpus = append(m.cpus, newCPU(m, i))
 	}
+	// Safety net for machines discarded without Close: idle workers hold
+	// only their inbox channel (not the machine), so an unreachable
+	// machine is collectable and the finalizer shuts its workers down.
+	runtime.SetFinalizer(m, func(m *Machine) { m.Close() })
 	return m
 }
 
@@ -171,6 +203,46 @@ func (m *Machine) CyclesToNanos(cy uint64) float64 {
 	return float64(cy) / float64(m.cfg.ClockHz) * 1e9
 }
 
+// Close shuts down the per-core worker goroutines. The machine cannot Run
+// again afterwards. Idempotent; also invoked by a finalizer when a machine
+// becomes unreachable, so forgetting Close leaks nothing permanently —
+// calling it promptly (the harness does) just frees the workers and the
+// simulated memory sooner.
+func (m *Machine) Close() {
+	if m.closed.Swap(true) {
+		return
+	}
+	if m.running.Load() {
+		panic("sim: Close while a Run call is in flight")
+	}
+	if m.workersUp {
+		for _, c := range m.cpus {
+			close(c.work)
+		}
+	}
+	runtime.SetFinalizer(m, nil)
+}
+
+// startWorkers lazily spawns one persistent worker goroutine per core on
+// the first Run. The worker loop deliberately captures only the core's
+// inbox channel: while idle it keeps nothing else alive, so an abandoned
+// machine stays collectable (see Close).
+func (m *Machine) startWorkers() {
+	if m.workersUp {
+		return
+	}
+	m.workersUp = true
+	for _, c := range m.cpus {
+		go workerLoop(c.work)
+	}
+}
+
+func workerLoop(work <-chan func()) {
+	for job := range work {
+		job()
+	}
+}
+
 // Run executes one thread body per core (len(bodies) ≤ Cores) to completion
 // and returns the simulated duration in cycles (the maximum core clock).
 // It may be called repeatedly; cores keep their clocks across calls so a
@@ -179,29 +251,35 @@ func (m *Machine) Run(bodies ...func(c *CPU)) uint64 {
 	if len(bodies) > len(m.cpus) {
 		panic("sim: more thread bodies than cores")
 	}
+	if m.closed.Load() {
+		panic("sim: Run on a closed machine")
+	}
 	m.running.Store(true)
 	defer m.running.Store(false)
+	m.startWorkers()
 	m.runnable = len(bodies)
+	m.heap = m.heap[:0]
 	for i, body := range bodies {
 		c := m.cpus[i]
 		c.running = true
-		go func(c *CPU, body func(*CPU)) {
-			defer func() {
-				if r := recover(); r != nil {
-					if m.failure == nil {
-						m.failure = fmt.Sprintf("core %d: %v", c.id, r)
-					}
-				}
-				c.flushCycles()
-				// Give the turn back if we died holding it, then
-				// signal completion.
-				c.holding = false
-				m.events <- event{core: c.id, finish: true}
-			}()
-			body(c)
-		}(c, body)
+		c.holding = false
+		c.checkedIn = false
+		c.leaseKey = 0
+		body := body
+		c.work <- func() { c.runBody(body) }
 	}
-	m.schedule()
+	if len(bodies) > 0 {
+		// Startup barrier: every core checks in exactly once — at its
+		// first operation, or at its finish if the body performs none.
+		// Only then is the minimum well defined and the first turn
+		// granted; from that point the cores schedule themselves.
+		for i := 0; i < len(bodies); i++ {
+			id := <-m.checkins
+			m.heapPush(m.cpus[id].key())
+		}
+		m.grant(m.heapPop())
+		<-m.done
+	}
 	if m.failure != nil {
 		f := m.failure
 		m.failure = nil
@@ -214,6 +292,20 @@ func (m *Machine) Run(bodies ...func(c *CPU)) uint64 {
 		}
 	}
 	return maxNow
+}
+
+// grant hands the turn token to the core identified by the packed key,
+// attaching its run-ahead lease: the key of the earliest core left waiting
+// (or leaseFree when none is). The recipient is parked on its slot, so
+// writing its lease before the send is ordered by the channel.
+func (m *Machine) grant(key uint64) {
+	c := m.cpus[key&coreMask]
+	if len(m.heap) > 0 {
+		c.leaseKey = m.heap[0]
+	} else {
+		c.leaseKey = leaseFree
+	}
+	c.slot <- struct{}{}
 }
 
 // SyncClocks aligns every core's clock to the latest one — the barrier
@@ -243,42 +335,77 @@ func (m *Machine) ResetAllCounters() {
 	}
 }
 
-// schedule is the engine loop: grant the turn to the earliest waiting core,
-// wait for it to yield or finish, repeat until all threads finish.
-func (m *Machine) schedule() {
-	waiting := make([]bool, len(m.cpus)) // core is blocked in acquire
-	nWaiting := 0
-	for m.runnable > 0 {
-		// Collect events until every runnable core is either waiting
-		// for the turn or finished.
-		for nWaiting < m.runnable {
-			ev := <-m.events
-			if ev.finish {
-				m.cpus[ev.core].running = false
-				m.runnable--
-				if m.solo == ev.core {
-					m.solo = -1
-				}
-			} else {
-				waiting[ev.core] = true
-				nWaiting++
-			}
-		}
-		if m.runnable == 0 {
+// --- waiting-core min-heap ----------------------------------------------
+
+// The heap holds one packed key per waiting core. Push and pop are the
+// only operations; both run under the turn token (or during Run's startup,
+// before any token exists).
+
+func (m *Machine) heapPush(k uint64) {
+	h := append(m.heap, k)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
 			break
 		}
-		// Pick the earliest waiting core; ties go to the lowest id.
-		best := -1
-		for i, c := range m.cpus {
-			if waiting[i] && (best < 0 || c.now < m.cpus[best].now) {
-				best = i
-			}
-		}
-		if m.runnable == 1 {
-			m.solo = best // free-run lease: no more rendezvous needed
-		}
-		waiting[best] = false
-		nWaiting--
-		m.cpus[best].turn <- struct{}{}
+		h[p], h[i] = h[i], h[p]
+		i = p
 	}
+	m.heap = h
+}
+
+// heapPushPop is heapPush(k) followed by heapPop(), fused into a single
+// sift-down: when k belongs below the current minimum (the common case — a
+// core whose lease just expired has a later clock than the earliest waiter),
+// the minimum is replaced by k in one traversal instead of two.
+func (m *Machine) heapPushPop(k uint64) uint64 {
+	h := m.heap
+	n := len(h)
+	if n == 0 || k <= h[0] {
+		return k
+	}
+	top := h[0]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r] < h[l] {
+			l = r
+		}
+		if k <= h[l] {
+			break
+		}
+		h[i] = h[l]
+		i = l
+	}
+	h[i] = k
+	return top
+}
+
+func (m *Machine) heapPop() uint64 {
+	h := m.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		if r := l + 1; r < n && h[r] < h[l] {
+			l = r
+		}
+		if h[i] <= h[l] {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+	m.heap = h
+	return top
 }
