@@ -4,6 +4,7 @@
 //
 // Usage:
 //
+//	asfbench -list                               # experiment names + descriptions
 //	asfbench -experiment fig4                    # one figure
 //	asfbench -experiment all                     # everything (slow)
 //	asfbench -experiment fig5 -scale 0.25 -parallel 8 -v
@@ -56,8 +57,15 @@ func main() {
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
 	tracePath := flag.String("trace", "", "record sim traces and write a Chrome trace_event JSON file here")
 	validatePath := flag.String("validate", "", "validate a BenchReport JSON file and exit (runs nothing)")
+	list := flag.Bool("list", false, "print every experiment name with a one-line description and exit")
 	flag.Parse()
 
+	if *list {
+		for _, name := range harness.Names {
+			fmt.Printf("%-8s %s\n", name, harness.Descriptions[name])
+		}
+		return
+	}
 	if *validatePath != "" {
 		if err := validateReport(*validatePath); err != nil {
 			fmt.Fprintln(os.Stderr, "asfbench:", err)

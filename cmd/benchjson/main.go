@@ -11,6 +11,18 @@
 // When the same benchmark appears more than once in the input, the last
 // occurrence wins — the Makefile uses that to re-run the noise-sensitive
 // micro-benchmarks with a longer -benchtime after the 1x figure pass.
+//
+// Two further modes read instead of write:
+//
+//	benchjson -compare baseline,current -o BENCH_PR4.json
+//	benchjson -check BENCH_PR4.json BENCH_PR5.json
+//
+// -compare prints per-benchmark deltas between two recorded sections and
+// exits 1 when a deterministic metric — allocs/op or B/op — regressed
+// (grew) from the first section to the second; host-time deltas (ns/op,
+// host_ns/op) vary run to run and are printed as advisory only. -check
+// validates each named file against the bench-json schema — a hand-edited
+// or truncated baseline fails — and exits 1 on the first invalid file.
 package main
 
 import (
@@ -18,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -49,7 +62,36 @@ type doc struct {
 func main() {
 	out := flag.String("o", "BENCH_PR4.json", "output JSON file (updated in place)")
 	section := flag.String("section", "current", "section of the output file to replace")
+	compare := flag.String("compare", "",
+		"compare two sections of the -o file (SECTION_A,SECTION_B); exit 1 when allocs/op or B/op regresses")
+	check := flag.Bool("check", false, "validate the named BENCH_*.json files against the bench-json schema and exit")
 	flag.Parse()
+
+	if *check {
+		if len(flag.Args()) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -check needs at least one file argument")
+			os.Exit(1)
+		}
+		for _, path := range flag.Args() {
+			if err := checkFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: valid %s v%d\n", path, schema, version)
+		}
+		return
+	}
+	if *compare != "" {
+		regressed, err := compareSections(os.Stdout, *out, *compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	parsed, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -82,6 +124,160 @@ func main() {
 	for _, n := range names {
 		fmt.Printf("  %-45s %12.2f ns/op\n", n, parsed[n].NsPerOp)
 	}
+}
+
+// deterministicMetrics are the benchmark units that must not vary between
+// runs of the same code: a growth from one section to the next is a real
+// regression, not noise, so -compare gates on them.
+var deterministicMetrics = []string{"allocs/op", "B/op"}
+
+// checkFile validates one BENCH_*.json document: well-formed JSON of the
+// right schema and version, at least one section, and sane entries. It is
+// the CI guard against hand-edited or truncated baselines.
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return fmt.Errorf("%s: not valid JSON: %v", path, err)
+	}
+	if d.Schema != schema {
+		return fmt.Errorf("%s: schema %q, want %q", path, d.Schema, schema)
+	}
+	if d.Version != version {
+		return fmt.Errorf("%s: version %d, want %d", path, d.Version, version)
+	}
+	if len(d.Sections) == 0 {
+		return fmt.Errorf("%s: no sections", path)
+	}
+	for name, sec := range d.Sections {
+		if len(sec) == 0 {
+			return fmt.Errorf("%s: section %q is empty", path, name)
+		}
+		for bench, e := range sec {
+			if !strings.HasPrefix(bench, "Benchmark") {
+				return fmt.Errorf("%s: section %q: entry %q is not a benchmark name", path, name, bench)
+			}
+			if e.Iters <= 0 {
+				return fmt.Errorf("%s: section %q: %s: iters = %d", path, name, bench, e.Iters)
+			}
+			if e.NsPerOp < 0 {
+				return fmt.Errorf("%s: section %q: %s: negative ns/op", path, name, bench)
+			}
+			for unit, v := range e.Metrics {
+				if v < 0 {
+					return fmt.Errorf("%s: section %q: %s: negative %s", path, name, bench, unit)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// compareSections prints per-benchmark deltas between two sections of the
+// document at path and reports whether any deterministic metric regressed.
+// Host-time deltas are advisory: they vary with machine and load.
+func compareSections(w io.Writer, path, spec string) (regressed bool, err error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" || strings.TrimSpace(parts[1]) == "" {
+		return false, fmt.Errorf("-compare wants SECTION_A,SECTION_B, got %q", spec)
+	}
+	secA, secB := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	if err := checkFile(path); err != nil {
+		return false, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return false, err
+	}
+	a, ok := d.Sections[secA]
+	if !ok {
+		return false, fmt.Errorf("%s: no section %q (have %v)", path, secA, sectionNames(d))
+	}
+	b, ok := d.Sections[secB]
+	if !ok {
+		return false, fmt.Errorf("%s: no section %q (have %v)", path, secB, sectionNames(d))
+	}
+
+	det := map[string]bool{}
+	for _, m := range deterministicMetrics {
+		det[m] = true
+	}
+	names := make([]string, 0, len(a))
+	for n := range a {
+		if _, ok := b[n]; ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return false, fmt.Errorf("%s: sections %q and %q share no benchmarks", path, secA, secB)
+	}
+
+	fmt.Fprintf(w, "%-45s %-12s %14s %14s %9s\n", "benchmark", "metric", secA, secB, "delta")
+	for _, n := range names {
+		ea, eb := a[n], b[n]
+		fmt.Fprintf(w, "%-45s %-12s %14.2f %14.2f %8.1f%%  (host, advisory)\n",
+			n, "ns/op", ea.NsPerOp, eb.NsPerOp, pctDelta(ea.NsPerOp, eb.NsPerOp))
+		units := make([]string, 0, len(ea.Metrics))
+		for u := range ea.Metrics {
+			if _, ok := eb.Metrics[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			va, vb := ea.Metrics[u], eb.Metrics[u]
+			verdict := "(host, advisory)"
+			if det[u] {
+				verdict = "(deterministic)"
+				if vb > va {
+					verdict = "(deterministic) REGRESSED"
+					regressed = true
+				}
+			}
+			fmt.Fprintf(w, "%-45s %-12s %14.2f %14.2f %8.1f%%  %s\n", n, u, va, vb, pctDelta(va, vb), verdict)
+		}
+	}
+	for n := range a {
+		if _, ok := b[n]; !ok {
+			fmt.Fprintf(w, "%-45s only in %q\n", n, secA)
+		}
+	}
+	for n := range b {
+		if _, ok := a[n]; !ok {
+			fmt.Fprintf(w, "%-45s only in %q\n", n, secB)
+		}
+	}
+	if regressed {
+		fmt.Fprintf(w, "FAIL: deterministic metric regressed from %q to %q\n", secA, secB)
+	}
+	return regressed, nil
+}
+
+func pctDelta(a, b float64) float64 {
+	if a == 0 {
+		if b == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (b - a) / a * 100
+}
+
+func sectionNames(d doc) []string {
+	names := make([]string, 0, len(d.Sections))
+	for n := range d.Sections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // load reads an existing output document, or returns an empty one when the

@@ -209,3 +209,22 @@ func (s *System) abortAll(except int) {
 // ProtectedLines returns how many lines are currently protected machine-
 // wide (diagnostics and tests).
 func (s *System) ProtectedLines() int { return len(s.prot) }
+
+// Monitors reports how many cores other than c currently protect a's line
+// in an active speculative region — the set of regions a conflicting plain
+// write from c would abort. The probe takes the global simulation turn (at
+// zero cycle cost): on hardware this information is what the write's
+// coherence probes would discover, so reading it separately is a modelling
+// convenience, not extra traffic.
+func (s *System) Monitors(c *sim.CPU, a mem.Addr) int {
+	n := 0
+	c.SpecOp(0, func() {
+		if p, ok := s.prot[a.Line()]; ok {
+			rd := p.readers &^ (1 << uint(c.ID()))
+			for ; rd != 0; rd >>= 1 {
+				n += int(rd & 1)
+			}
+		}
+	})
+	return n
+}

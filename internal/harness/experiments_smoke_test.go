@@ -2,6 +2,7 @@ package harness
 
 import (
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -89,5 +90,55 @@ func TestRunDispatch(t *testing.T) {
 		if err != nil || len(tabs) == 0 {
 			t.Fatalf("Run(%s): %v, %d tables", name, err, len(tabs))
 		}
+	}
+}
+
+// TestHybridSmokeTiny executes E11 at a very small scale: every table must
+// be produced, the intset throughput cells must be positive, and the hybrid
+// runtime must record concurrent software commits (the subsystem's whole
+// point) with zero serial entries on the capacity-bound intset cells.
+func TestHybridSmokeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	rep, err := RunReport("hybrid", Options{Scale: 0.05, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 apps × 2 runtimes × 4 threads + 6 intset cells × 2 runtimes.
+	if want := 2*2*4 + 6*2; len(rep.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(rep.Cells), want)
+	}
+	// 2 STAMP tables + 2 intset tables + summary + abort attribution.
+	if len(rep.Tables) != 6 {
+		t.Fatalf("tables = %d, want 6", len(rep.Tables))
+	}
+	swSeen := false
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			t.Fatalf("cell %q failed: %s", c.Label, c.Err)
+		}
+		st := c.Sim.Stats
+		if strings.Contains(c.Label, "HyTM") {
+			if st.SWCommits > 0 {
+				swSeen = true
+			}
+			if g, ok := c.Sim.Metrics.Gauge("tm/sw_commits"); !ok || g.Total != st.SWCommits {
+				t.Fatalf("cell %q: tm/sw_commits gauge %+v disagrees with stats %d", c.Label, g, st.SWCommits)
+			}
+			if strings.Contains(c.Label, "linkedlist") || strings.Contains(c.Label, "rbtree") {
+				if st.Serial != 0 {
+					t.Fatalf("cell %q: %d serial entries on the hybrid path", c.Label, st.Serial)
+				}
+				if st.SWCommits == 0 {
+					t.Fatalf("cell %q: capacity-bound cell committed nothing in software", c.Label)
+				}
+			}
+		} else if st.SWCommits != 0 || st.SeqAborts != 0 {
+			t.Fatalf("cell %q: non-hybrid runtime reported hybrid counters: %+v", c.Label, st)
+		}
+	}
+	if !swSeen {
+		t.Fatal("no cell recorded concurrent software commits")
 	}
 }

@@ -85,8 +85,22 @@ func progf(w Progress, format string, args ...any) {
 	}
 }
 
-// Experiment names accepted by Run, in paper order.
-var Names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1"}
+// Experiment names accepted by Run, in paper order; the extension
+// experiments (E11+) follow the paper's figures.
+var Names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "hybrid"}
+
+// Descriptions maps each experiment in Names to the one-line summary
+// cmd/asfbench -list prints.
+var Descriptions = map[string]string{
+	"fig3":   "simulator accuracy: single-threaded STAMP, simulated vs native-reference runtime",
+	"fig4":   "STAMP scalability: execution time for all apps, ASF variants and STM, 1-8 threads",
+	"fig5":   "IntegerSet scalability: throughput for the four ASF variants, eight panels",
+	"fig6":   "abort breakdown: share of aborted attempts by cause, per app/variant/threads",
+	"fig7":   "ASF capacity: throughput vs structure size at 8 threads (list and rbtree)",
+	"fig8":   "early release: linked-list throughput with and without early release",
+	"table1": "single-thread overhead: cycle breakdown ASF-TM vs TinySTM, plus Fig. 9 composition",
+	"hybrid": "E11: capacity-bound cells, serial-fallback ASF-TM vs the hybrid (HyTM) runtime",
+}
 
 // Run executes one named experiment and returns its tables in figure
 // order — the experiment's own tables followed by its abort-attribution
@@ -122,6 +136,8 @@ func runExperiment(name string, o Options) ([]*Table, error) {
 		return Fig8(o)
 	case "table1":
 		return Table1(o)
+	case "hybrid":
+		return Hybrid(o)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (want one of %v)", name, Names)
 	}

@@ -137,15 +137,16 @@ func RunReport(name string, o Options) (*ExperimentReport, error) {
 // cell reports in cell order, so its text is identical for any worker
 // count.
 func abortTable(name string, cells []*CellReport) *Table {
-	header := []string{"cell", "commits", "serial"}
+	header := []string{"cell", "commits", "serial", "sw"}
 	for r := 1; r < sim.NumAbortReasons; r++ { // skip AbortNone
 		header = append(header, sim.AbortReason(r).String())
 	}
-	header = append(header, "malloc", "stm")
+	header = append(header, "malloc", "stm", "seq")
 	t := &Table{
 		Title:  fmt.Sprintf("%s — abort attribution (counts; one row per configuration)", name),
 		Header: header,
-		Note:   "explicit includes malloc-refill aborts; stm counts software validation aborts",
+		Note: "explicit includes malloc-refill aborts; stm counts software validation aborts; " +
+			"sw = concurrent software-fallback commits, seq = seqlock-induced hardware aborts (hybrid runtime)",
 	}
 	for _, c := range cells {
 		if c.Sim == nil {
@@ -157,11 +158,11 @@ func abortTable(name string, cells []*CellReport) *Table {
 			continue
 		}
 		st := c.Sim.Stats
-		row := []any{c.Label, st.Commits, st.Serial}
+		row := []any{c.Label, st.Commits, st.Serial, st.SWCommits}
 		for r := 1; r < sim.NumAbortReasons; r++ {
 			row = append(row, st.Aborts[r])
 		}
-		row = append(row, st.MallocAborts, st.STMAborts)
+		row = append(row, st.MallocAborts, st.STMAborts, st.SeqAborts)
 		t.Add(row...)
 	}
 	return t

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"asfstack/internal/sim"
+	"asfstack/internal/tm"
 )
 
 // TestTableFprintGolden pins Fprint's exact rendering: column alignment
@@ -177,5 +180,53 @@ func TestFig5ReportSimDeterminism(t *testing.T) {
 	par := reportSimJSON(t, "fig5", 0.03, 8)
 	if seq != par {
 		t.Fatalf("fig5 sim sections differ between parallel=1 and parallel=8:\n--- 1 ---\n%.2000s\n--- 8 ---\n%.2000s", seq, par)
+	}
+}
+
+// TestHybridReportSimDeterminism: E11 is the first experiment whose cells
+// mix three commit paths (hardware, concurrent software, serial), so its
+// deterministic report — hytm gauges included — must be byte-identical at
+// any worker count like every other experiment's.
+func TestHybridReportSimDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	seq := reportSimJSON(t, "hybrid", 0.05, 1)
+	par := reportSimJSON(t, "hybrid", 0.05, 8)
+	if seq != par {
+		t.Fatalf("hybrid sim sections differ between parallel=1 and parallel=8:\n--- 1 ---\n%.2000s\n--- 8 ---\n%.2000s", seq, par)
+	}
+}
+
+// TestAbortTableGolden pins the abort-attribution table's exact column
+// order and rendering — the one report surface with no golden before the
+// hybrid columns (sw, seq) were added. Reordering, renaming, or dropping a
+// column is a schema change for report consumers and must show up here.
+func TestAbortTableGolden(t *testing.T) {
+	var st tm.Stats
+	st.Commits = 100
+	st.Serial = 3
+	st.SWCommits = 40
+	st.Aborts[sim.AbortContention] = 7
+	st.Aborts[sim.AbortCapacity] = 5
+	st.Aborts[sim.AbortExplicit] = 2
+	st.MallocAborts = 2
+	st.STMAborts = 9
+	st.SeqAborts = 4
+	cells := []*CellReport{
+		{Label: "hybrid demo t=8", Sim: &CellSim{Cycles: 1, Stats: st}},
+		{Label: "failed cell"}, // no sim section: every column reads ERR
+	}
+	var b strings.Builder
+	abortTable("hybrid", cells).Fprint(&b)
+	want := "\n== hybrid — abort attribution (counts; one row per configuration) ==\n" +
+		"cell             commits  serial  sw   contention  capacity  page-fault  interrupt  syscall  explicit  disallowed  nesting  malloc  stm  seq\n" +
+		"---------------  -------  ------  ---  ----------  --------  ----------  ---------  -------  --------  ----------  -------  ------  ---  ---\n" +
+		"hybrid demo t=8  100      3       40   7           5         0           0          0        2         0           0        2       9    4\n" +
+		"failed cell      ERR      ERR     ERR  ERR         ERR       ERR         ERR        ERR      ERR       ERR         ERR      ERR     ERR  ERR\n" +
+		"note: explicit includes malloc-refill aborts; stm counts software validation aborts; " +
+		"sw = concurrent software-fallback commits, seq = seqlock-induced hardware aborts (hybrid runtime)\n"
+	if got := b.String(); got != want {
+		t.Fatalf("abort table rendering changed:\n--- got ---\n%q\n--- want ---\n%q", got, want)
 	}
 }

@@ -67,6 +67,10 @@ type Runtime interface {
 type Stats struct {
 	Commits uint64 // committed transactions
 	Serial  uint64 // commits that ran in serial-irrevocable mode
+	// SWCommits: commits of a *concurrent* software fallback path (the
+	// hybrid runtime's non-serial software transactions). Also counted in
+	// Commits; pure hardware and pure software runtimes leave this zero.
+	SWCommits uint64
 
 	// Aborts per hardware reason (indexed by sim.AbortReason).
 	Aborts [sim.NumAbortReasons]uint64
@@ -77,6 +81,12 @@ type Stats struct {
 	// STMAborts: software aborts of an STM runtime (conflict, validation
 	// failure). Hardware runtimes leave this zero.
 	STMAborts uint64
+	// SeqAborts: hardware aborts induced by the hybrid runtime's commit-
+	// sequence seqlock — regions that found it held at begin (also counted
+	// in Aborts[sim.AbortContention]) plus in-flight regions killed by a
+	// software commit's seqlock acquisition (attributed to the acquiring
+	// core). Non-hybrid runtimes leave this zero.
+	SeqAborts uint64
 }
 
 // TotalAborts sums hardware and software aborts.
@@ -95,11 +105,13 @@ func (s *Stats) Attempts() uint64 { return s.Commits + s.TotalAborts() }
 func (s *Stats) Add(o Stats) {
 	s.Commits += o.Commits
 	s.Serial += o.Serial
+	s.SWCommits += o.SWCommits
 	for i := range s.Aborts {
 		s.Aborts[i] += o.Aborts[i]
 	}
 	s.MallocAborts += o.MallocAborts
 	s.STMAborts += o.STMAborts
+	s.SeqAborts += o.SeqAborts
 }
 
 // Explicit-abort software codes (carried in rAX by the ABORT instruction).
@@ -116,6 +128,10 @@ const (
 	// lowering, §3.3) asked to restart in serial-irrevocable mode
 	// before an action with no transaction-safe version.
 	CodeSerialRequest uint64 = 0x5E71A2
+	// CodeSeqLocked: the hybrid runtime's commit-sequence seqlock was held
+	// (a software writeback or a serial transaction is in flight); the
+	// hardware region must wait it out and retry.
+	CodeSeqLocked uint64 = 0x5E90C
 )
 
 // Irrevocably is implemented by transactions that can switch to

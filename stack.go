@@ -24,6 +24,7 @@ import (
 
 	"asfstack/internal/asf"
 	"asfstack/internal/asftm"
+	"asfstack/internal/hytm"
 	"asfstack/internal/mem"
 	"asfstack/internal/metrics"
 	"asfstack/internal/seq"
@@ -35,7 +36,8 @@ import (
 // RuntimeNames lists the accepted Options.Runtime values, in the order the
 // paper's figures use them.
 var RuntimeNames = []string{
-	"LLB-8", "LLB-256", "LLB-8 w/ L1", "LLB-256 w/ L1", "STM", "Sequential",
+	"LLB-8", "LLB-256", "LLB-8 w/ L1", "LLB-256 w/ L1", "STM",
+	"HyTM-8", "HyTM-256", "Sequential",
 }
 
 // Options configures a Stack.
@@ -65,6 +67,9 @@ type Stack struct {
 	ASF *asf.System
 	// ASFTM is the ASF-TM runtime when Runtime selected one, else nil.
 	ASFTM *asftm.Runtime
+	// HYTM is the hybrid runtime when Runtime selected one ("HyTM-8",
+	// "HyTM-256"), else nil.
+	HYTM *hytm.Runtime
 	// RT is the selected runtime behind the portable ABI.
 	RT tm.Runtime
 	// Metrics is the stack-wide registry: every layer registers its
@@ -93,6 +98,8 @@ type stackGauges struct {
 	tmAborts            [sim.NumAbortReasons]metrics.Gauge
 	tmMallocAborts      metrics.Gauge
 	tmSTMAborts         metrics.Gauge
+	tmSWCommits         metrics.Gauge
+	tmSeqAborts         metrics.Gauge
 }
 
 func (g *stackGauges) register(reg *metrics.Registry) {
@@ -119,6 +126,8 @@ func (g *stackGauges) register(reg *metrics.Registry) {
 	}
 	g.tmMallocAborts = reg.Gauge("tm/malloc_aborts")
 	g.tmSTMAborts = reg.Gauge("tm/stm_aborts")
+	g.tmSWCommits = reg.Gauge("tm/sw_commits")
+	g.tmSeqAborts = reg.Gauge("tm/seq_aborts")
 }
 
 // New builds a stack. It panics on configuration errors (these are
@@ -151,6 +160,22 @@ func New(opts Options) *Stack {
 		s.RT = rt
 	case "Sequential", "":
 		s.RT = seq.New(heap, opts.Cores)
+	case "HyTM-8", "HyTM-256":
+		// The hybrid runtime runs on the same ASF hardware variants as
+		// ASF-TM; the label selects the LLB size.
+		vname := "LLB-8"
+		if opts.Runtime == "HyTM-256" {
+			vname = "LLB-256"
+		}
+		v, err := asf.VariantByName(vname)
+		if err != nil {
+			panic(fmt.Sprintf("asfstack: %v", err))
+		}
+		s.ASF = asf.Install(m, v)
+		s.ASF.SetMetrics(s.Metrics)
+		s.HYTM = hytm.New(s.ASF, heap, m, layout, opts.Runtime)
+		s.HYTM.SetMetrics(s.Metrics)
+		s.RT = s.HYTM
 	default:
 		v, err := asf.VariantByName(opts.Runtime)
 		if err != nil {
@@ -240,6 +265,8 @@ func (s *Stack) fillGauges() {
 		}
 		s.gauges.tmMallocAborts.Set(i, st.MallocAborts)
 		s.gauges.tmSTMAborts.Set(i, st.STMAborts)
+		s.gauges.tmSWCommits.Set(i, st.SWCommits)
+		s.gauges.tmSeqAborts.Set(i, st.SeqAborts)
 	}
 }
 
