@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/harness ./internal/asftm
+	$(GO) test -race -short ./internal/harness ./internal/asftm ./internal/litmus
 
 verify: build vet test race
 

@@ -70,7 +70,21 @@ type Runtime struct {
 	txs   []hwTx // per-core transaction descriptors (reused)
 	depth []int  // per-core flat-nesting depth of Atomic calls
 
+	hook tm.CommitHook
+
 	met rtMetrics
+}
+
+// SetCommitHook implements tm.HookableRuntime.
+func (r *Runtime) SetCommitHook(h tm.CommitHook) { r.hook = h }
+
+// notifyCommit reports a commit to the hook under the global turn, so hook
+// invocations across cores are totally ordered (and the hook needs no
+// locking of its own).
+func (r *Runtime) notifyCommit(c *sim.CPU, serial bool) {
+	if r.hook != nil {
+		c.SpecOp(0, func() { r.hook(c.ID(), serial) })
+	}
 }
 
 // rtMetrics holds the runtime's metric handles (zero-value inert).
@@ -177,6 +191,7 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 		if reason == sim.AbortNone {
 			st.Commits++
 			r.met.hwAttempts.Observe(id, uint64(attempts+1))
+			r.notifyCommit(c, false)
 			c.Trace(sim.TraceTxCommit, 0)
 			c.SetCategory(sim.CatNonInstr)
 			return
@@ -263,6 +278,7 @@ func (r *Runtime) runSerial(c *sim.CPU, t *hwTx, body func(tx tm.Tx)) {
 	c.SetCategory(sim.CatTxApp)
 	body(t)
 	c.SetCategory(sim.CatTxStartCommit)
+	r.notifyCommit(c, true) // before the release: the token is the commit point
 	c.Store(r.serialLock, 0)
 	r.met.serialCycles.Add(c.ID(), c.Now()-held)
 	t.serial = false

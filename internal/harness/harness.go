@@ -87,7 +87,7 @@ func progf(w Progress, format string, args ...any) {
 
 // Experiment names accepted by Run, in paper order; the extension
 // experiments (E11+) follow the paper's figures.
-var Names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "hybrid"}
+var Names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "hybrid", "litmus"}
 
 // Descriptions maps each experiment in Names to the one-line summary
 // cmd/asfbench -list prints.
@@ -100,6 +100,7 @@ var Descriptions = map[string]string{
 	"fig8":   "early release: linked-list throughput with and without early release",
 	"table1": "single-thread overhead: cycle breakdown ASF-TM vs TinySTM, plus Fig. 9 composition",
 	"hybrid": "E11: capacity-bound cells, serial-fallback ASF-TM vs the hybrid (HyTM) runtime",
+	"litmus": "E12: cross-runtime litmus conformance — deterministic schedule explorer vs oracle envelopes",
 }
 
 // Run executes one named experiment and returns its tables in figure
@@ -138,6 +139,8 @@ func runExperiment(name string, o Options) ([]*Table, error) {
 		return Table1(o)
 	case "hybrid":
 		return Hybrid(o)
+	case "litmus":
+		return Litmus(o)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (want one of %v)", name, Names)
 	}

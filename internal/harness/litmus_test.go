@@ -1,0 +1,44 @@
+package harness
+
+import "testing"
+
+// TestLitmusParallelDeterminism: the litmus experiment's tables must be
+// byte-identical at any -parallel worker count. Each cell is one
+// deterministic exploration (a pure function of test, runtime, seed), so
+// the only way worker count could leak in is through cell scheduling —
+// exactly what the harness guarantees cannot happen. Runs in short mode
+// too: litmus cells are cheap and this is the suite's core byte-identical
+// promise.
+func TestLitmusParallelDeterminism(t *testing.T) {
+	render := func(parallel int) string {
+		tables, err := Litmus(Options{Scale: 0.2, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderTables(tables)
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("parallel tables differ from sequential:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s", seq, par)
+	}
+}
+
+// TestLitmusExperimentClean: the experiment must run violation-free on the
+// shipped runtime matrix — the harness-level restatement of the litmus
+// package's conformance suite, exercised through the cell scheduler and
+// table assembly.
+func TestLitmusExperimentClean(t *testing.T) {
+	tables, err := Litmus(Options{Scale: 0.2, Parallel: 4})
+	if err != nil {
+		t.Fatalf("litmus experiment reported violations or cell errors: %v", err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want 2", len(tables))
+	}
+	for _, row := range tables[1].Rows {
+		if row[5] != "0" {
+			t.Errorf("runtime %s reports %s violations", row[0], row[5])
+		}
+	}
+}

@@ -64,6 +64,12 @@ type Config struct {
 	BackoffBase uint64
 	BackoffMax  uint64
 
+	// ForceSW routes every transaction straight to the concurrent software
+	// fallback, skipping the hardware attempts. Litmus conformance runs use
+	// it to exercise the fallback's isolation behaviour directly — the
+	// suite's transactions are far too small to overflow an LLB naturally.
+	ForceSW bool
+
 	// Hardware-path ABI costs, in instructions (as asftm.Config).
 	BeginInstr   int
 	CommitInstr  int
@@ -116,7 +122,20 @@ type Runtime struct {
 	txs   []hyTx
 	depth []int // per-core flat-nesting depth of Atomic calls
 
+	hook tm.CommitHook
+
 	met rtMetrics
+}
+
+// SetCommitHook implements tm.HookableRuntime.
+func (r *Runtime) SetCommitHook(h tm.CommitHook) { r.hook = h }
+
+// notifyCommit reports a commit to the hook under the global turn (see
+// tm.CommitHook).
+func (r *Runtime) notifyCommit(c *sim.CPU, serial bool) {
+	if r.hook != nil {
+		c.SpecOp(0, func() { r.hook(c.ID(), serial) })
+	}
 }
 
 // rtMetrics holds the runtime's metric handles (zero-value inert).
@@ -237,6 +256,11 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 	t := &r.txs[id]
 	t.c, t.u, t.mode, t.wrote = c, u, modeHW, false
 
+	if r.cfg.ForceSW {
+		r.runSW(c, t, body)
+		return
+	}
+
 	attempts := 0
 	for {
 		c.SetCategory(sim.CatTxStartCommit)
@@ -274,6 +298,7 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 			st.Commits++
 			r.met.hwCommits.Inc(id)
 			r.met.hwAttempts.Observe(id, uint64(attempts+1))
+			r.notifyCommit(c, false)
 			c.Trace(sim.TraceTxCommit, 0)
 			c.SetCategory(sim.CatNonInstr)
 			return
@@ -388,6 +413,7 @@ func (r *Runtime) runSW(c *sim.CPU, t *hyTx, body func(tx tm.Tx)) {
 		if committed {
 			st.Commits++
 			st.SWCommits++
+			r.notifyCommit(c, false)
 			r.met.swCommits.Inc(id)
 			r.met.swAttempts.Observe(id, uint64(retries+1))
 			r.met.swCycles.Add(id, c.Now()-entry)
@@ -449,6 +475,7 @@ func (r *Runtime) runSerial(c *sim.CPU, t *hyTx, body func(tx tm.Tx)) {
 	c.SetCategory(sim.CatTxApp)
 	body(t)
 	c.SetCategory(sim.CatTxStartCommit)
+	r.notifyCommit(c, true) // before the release: the seqlock is the commit point
 	c.Store(r.swSeq, seq+2)
 	r.met.serialCycles.Add(id, c.Now()-held)
 	t.mode = modeHW

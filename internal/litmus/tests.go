@@ -1,0 +1,171 @@
+package litmus
+
+// Tests is the conformance table. Names follow the memory-model litmus
+// naming tradition where one exists (SB, LB, MP, WRC); the tx-vs-plain
+// tests are named for the isolation property they probe.
+//
+// Every test is judged against oracle-computed envelopes (see Envelope), so
+// the table only declares programs, not outcome lists — except WeakAllowed,
+// which pins abort-path transients the weak oracle deliberately does not
+// model (it executes every transaction exactly once). Each pin says which
+// runtime produces it and why it is legitimate for that isolation class.
+var Tests = []*Test{
+	{
+		Name: "atomicity-torn-write",
+		Doc: "A transaction stores x then y; a plain reader loads x then y. " +
+			"Seeing the second store's effect without the first (r0=1,r1=0) " +
+			"means the reader caught the transaction half-done — forbidden " +
+			"under strong isolation, the signature of write-through and " +
+			"writeback software paths.",
+		Vars: []string{"x", "y"},
+		Threads: []Thread{
+			{Tx(S(0, 1), S(1, 1))},
+			{Plain(L(0, 0), L(1, 1))},
+		},
+	},
+	{
+		Name: "repeatable-read",
+		Doc: "A transaction reads x twice; a plain writer stores x=1 in " +
+			"between. Strong isolation forbids the two reads differing: the " +
+			"plain store must abort the reader (ASF requester-wins) or " +
+			"serialize around it.",
+		Vars: []string{"x"},
+		Threads: []Thread{
+			{Tx(L(0, 0), L(1, 0))},
+			{Plain(S(0, 1))},
+		},
+	},
+	{
+		Name: "publication",
+		Doc: "T0 initializes x with a plain store, then publishes it with a " +
+			"transactional flag store; T1 reads flag then x in one " +
+			"transaction. Seeing the flag but not the data (r0=1,r1=0) is " +
+			"forbidden in every isolation class — program order plus " +
+			"transaction serialization carry the plain store with the " +
+			"publication.",
+		Vars: []string{"f", "x"},
+		Threads: []Thread{
+			{Plain(S(1, 1)), Tx(S(0, 1))},
+			{Tx(L(0, 0), L(1, 1))},
+		},
+	},
+	{
+		Name: "privatization",
+		Doc: "f=1 marks x shared. T0 transactionally claims x (f=0), then " +
+			"accesses it with plain operations; T1 transactionally checks f " +
+			"and writes x only if it saw it shared (stores its read of f). " +
+			"The classic failure is T1's doomed writeback landing after T0 " +
+			"privatized — clobbering T0's plain store or its read.",
+		Vars: []string{"f", "x"},
+		Init: []uint64{1, 0},
+		Threads: []Thread{
+			{Tx(S(0, 0)), Plain(S(1, 5), L(0, 1))},
+			{Tx(L(1, 0), SR(1, 1, 0))},
+		},
+	},
+	{
+		Name: "write-skew",
+		Doc: "T0 reads x and increments y; T1 reads y and increments x. " +
+			"Serializability forces one to see the other's write: both " +
+			"reading 0 (and both counters ending 1) is the write-skew " +
+			"anomaly snapshot-isolation systems admit and TM must not.",
+		Vars: []string{"x", "y"},
+		Threads: []Thread{
+			{Tx(L(0, 0), SR(1, 0, 1))},
+			{Tx(L(0, 1), SR(0, 0, 1))},
+		},
+	},
+	{
+		Name: "lost-update",
+		Doc: "Two transactions each increment x via load-add-store. Any " +
+			"serialization ends with x=2; x=1 means an update was lost.",
+		Vars: []string{"x"},
+		Threads: []Thread{
+			{Tx(L(0, 0), SR(0, 0, 1))},
+			{Tx(L(0, 0), SR(0, 0, 1))},
+		},
+	},
+	{
+		Name: "store-buffering",
+		Doc: "SB with each access in its own transaction: T0 stores x then " +
+			"reads y, T1 stores y then reads x. Both reading 0 requires a " +
+			"cycle in the commit order — forbidden under serializability " +
+			"(unlike plain x86-TSO, where SB is the observable relaxation).",
+		Vars: []string{"x", "y"},
+		Threads: []Thread{
+			{Tx(S(0, 1)), Tx(L(0, 1))},
+			{Tx(S(1, 1)), Tx(L(0, 0))},
+		},
+	},
+	{
+		Name: "load-buffering",
+		Doc: "LB: T0 reads x then stores y=1; T1 reads y then stores x=1. " +
+			"Both reading 1 would require effects from the future; no " +
+			"sequential execution produces it — a sanity check that holds " +
+			"in every class.",
+		Vars: []string{"x", "y"},
+		Threads: []Thread{
+			{Tx(L(0, 0)), Tx(S(1, 1))},
+			{Tx(L(0, 1)), Tx(S(0, 1))},
+		},
+	},
+	{
+		Name: "message-passing",
+		Doc: "MP: T0 transactionally stores data x then flag f; T1 reads f " +
+			"then x in separate transactions. Flag observed but data stale " +
+			"(r0=1,r1=0) breaks commit-order causality.",
+		Vars: []string{"x", "f"},
+		Threads: []Thread{
+			{Tx(S(0, 1)), Tx(S(1, 1))},
+			{Tx(L(0, 1)), Tx(L(1, 0))},
+		},
+	},
+	{
+		Name: "plain-lost-store",
+		Doc: "T0 transactionally increments x; T1 does one plain store " +
+			"x=10. Strong isolation admits only plain-then-tx (r0=10,x=11) " +
+			"or tx-then-plain (r0=0,x=10). The plain store vanishing inside " +
+			"the transaction's read-modify-write (x=1) is the weak-isolation " +
+			"signature: software paths neither see nor abort on the " +
+			"uninstrumented store.",
+		Vars: []string{"x"},
+		Threads: []Thread{
+			{Tx(L(0, 0), SR(0, 0, 1))},
+			{Plain(S(0, 10))},
+		},
+	},
+	{
+		Name: "dirty-read-write",
+		Doc: "T0 stores x and reads y in one transaction; T1 stores y and " +
+			"reads x in another. One transaction commits first and the " +
+			"other must see its store: both reading 0 is forbidden.",
+		Vars: []string{"x", "y"},
+		Threads: []Thread{
+			{Tx(S(0, 1), L(0, 1))},
+			{Tx(S(1, 1), L(1, 0))},
+		},
+	},
+	{
+		Name: "write-causality",
+		Doc: "WRC across three threads: T0 publishes x=1; T1 reads x and " +
+			"then publishes y=1; T2 reads y then x. T2 seeing T1's write " +
+			"(y=1) but not the write T1 already saw (x=0) breaks " +
+			"transitivity of the commit order.",
+		Vars: []string{"x", "y"},
+		Threads: []Thread{
+			{Tx(S(0, 1))},
+			{Tx(L(0, 0)), Tx(S(1, 1))},
+			{Tx(L(0, 1)), Tx(L(1, 0))},
+		},
+	},
+}
+
+// ByName returns the named test, or nil.
+func ByName(name string) *Test {
+	for _, t := range Tests {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}

@@ -14,7 +14,13 @@ import (
 type Runtime struct {
 	heap  *tm.Heap
 	stats []tm.Stats
+	hook  tm.CommitHook
 }
+
+// SetCommitHook implements tm.HookableRuntime. With a single thread the
+// global order is the program order, but the litmus suite installs the hook
+// uniformly across runtimes.
+func (r *Runtime) SetCommitHook(h tm.CommitHook) { r.hook = h }
 
 // New builds the sequential runtime.
 func New(heap *tm.Heap, cores int) *Runtime {
@@ -38,6 +44,9 @@ func (r *Runtime) ResetStats() {
 func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 	body(&seqTx{r: r, c: c})
 	r.stats[c.ID()].Commits++
+	if r.hook != nil {
+		c.SpecOp(0, func() { r.hook(c.ID(), false) })
+	}
 }
 
 type seqTx struct {

@@ -67,6 +67,11 @@ type CPU struct {
 	trace   []TraceEvent
 
 	rng *rand.Rand
+
+	// jrng drives schedule-noise stalls (Config.SchedNoise); nil when
+	// exploration is off, so the hot path pays one pointer test.
+	jrng *rand.Rand
+	jmax int64
 }
 
 func newCPU(m *Machine, id int) *CPU {
@@ -77,6 +82,12 @@ func newCPU(m *Machine, id int) *CPU {
 		work:        make(chan func(), 1),
 		presentPage: ^mem.Addr(0), // unaligned: matches no page
 		rng:         rand.New(rand.NewSource(m.cfg.Seed*7919 + int64(id)*104729 + 1)),
+	}
+	if m.cfg.SchedNoise > 0 {
+		// A stream separate from rng: exploration must not perturb the
+		// workload's own random choices, only the schedule.
+		c.jrng = rand.New(rand.NewSource(m.cfg.Seed*31607 + int64(id)*15485863 + 7))
+		c.jmax = int64(m.cfg.SchedNoise) + 1
 	}
 	if m.cfg.TimerInterval > 0 {
 		c.nextTimer = m.cfg.TimerInterval
@@ -215,8 +226,14 @@ func (c *CPU) finish() {
 	m.grant(m.heapPop())
 }
 
-// flushCycles folds batched compute into the clock.
+// flushCycles folds batched compute into the clock. With schedule noise
+// enabled (Config.SchedNoise) it also folds in a deterministic pseudo-random
+// stall, perturbing the (clock, id) priority this core rendezvouses with and
+// thereby the global interleaving.
 func (c *CPU) flushCycles() {
+	if c.jrng != nil {
+		c.pending += uint64(c.jrng.Int63n(c.jmax))
+	}
 	c.charge(c.pending)
 	c.pending = 0
 }

@@ -60,6 +60,16 @@ type Config struct {
 	SyscallCost   uint64 // base cost of a system call
 
 	Seed int64
+
+	// SchedNoise enables schedule exploration: every globally ordered
+	// operation is preceded by a pseudo-random stall of up to SchedNoise
+	// cycles, drawn from a dedicated per-core stream derived from Seed.
+	// Different seeds then produce different interleavings while each seed
+	// remains bit-for-bit replayable — the litmus explorer's knob. The
+	// stalls pollute the cycle accounting, so exploration runs are not
+	// measurement runs. Zero (the default) keeps the scheduler purely
+	// clock-driven and byte-identical to previous behaviour.
+	SchedNoise uint64
 }
 
 // Barcelona returns the machine configuration used for all measurements in

@@ -2,7 +2,6 @@ package stamp
 
 import (
 	"fmt"
-	"math/rand"
 
 	"asfstack"
 	"asfstack/internal/mem"
@@ -59,7 +58,10 @@ func newGenome(scale float64) *genome {
 func (g *genome) Name() string { return "genome" }
 
 func (g *genome) Setup(s *asfstack.Stack, tx tm.Tx, threads int) {
-	rng := rand.New(rand.NewSource(1234))
+	// Derive the input from the run's seed like every other application
+	// (core 0's stream is a pure function of Config.Seed), rather than a
+	// hardcoded source that made every "seeded" genome run share one gene.
+	rng := tx.CPU().Rand()
 	g.gene = make([]byte, g.geneLen)
 	for i := range g.gene {
 		g.gene[i] = byte(rng.Intn(4))

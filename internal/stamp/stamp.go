@@ -43,7 +43,11 @@ type Config struct {
 	App     string // one of Apps
 	Runtime string // asfstack runtime label
 	Threads int
+	// Seed makes runs reproducible. Zero selects the default (42) unless
+	// SeedSet marks it deliberate: seed 0 is a valid, distinct seed, not
+	// an alias of the default.
 	Seed    int64
+	SeedSet bool
 	// Scale multiplies the default input size (1.0 when zero); used by
 	// tests to shrink runs.
 	Scale float64
@@ -101,21 +105,25 @@ func New(name string, threads int, scale float64) (App, error) {
 
 // Run executes one configuration to completion and validates the result.
 func Run(cfg Config) (Result, error) {
-	if cfg.Seed == 0 {
+	if cfg.Seed == 0 && !cfg.SeedSet {
 		cfg.Seed = 42
 	}
 	app, err := New(cfg.App, cfg.Threads, cfg.Scale)
 	if err != nil {
 		return Result{}, err
 	}
+	// Set the seed on the machine config directly: asfstack.Options.Seed
+	// treats zero as "keep the default", which would silently turn an
+	// explicit seed 0 back into 42.
+	mc := sim.Barcelona(cfg.Threads)
+	if cfg.Native {
+		mc = sim.NativeReference(cfg.Threads)
+	}
+	mc.Seed = cfg.Seed
 	opts := asfstack.Options{
 		Cores:   cfg.Threads,
 		Runtime: cfg.Runtime,
-		Seed:    cfg.Seed,
-	}
-	if cfg.Native {
-		mc := sim.NativeReference(cfg.Threads)
-		opts.Machine = &mc
+		Machine: &mc,
 	}
 	s := asfstack.New(opts)
 	s.Setup(func(tx tm.Tx) { app.Setup(s, tx, cfg.Threads) })

@@ -22,6 +22,49 @@ func TestDeterministicRuns(t *testing.T) {
 	}
 }
 
+// TestSeedZeroIsARealSeed: an explicit seed 0 must run as seed 0, not be
+// silently promoted to the default 42, and distinct seeds must produce
+// distinct executions (genome's input generation included, which once used
+// a seed-independent hardcoded source).
+func TestSeedZeroIsARealSeed(t *testing.T) {
+	base := Config{App: "genome", Runtime: "LLB-256", Threads: 2, Scale: 0.125}
+
+	zero := base
+	zero.Seed, zero.SeedSet = 0, true
+	def := base // Seed 0 without SeedSet: the default (42)
+	other := base
+	other.Seed = 7
+
+	rz, err := Run(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Run(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rz.Cycles == rd.Cycles && rz.Stats == rd.Stats {
+		t.Errorf("seed 0 ran identically to the default seed: 0 is still aliased to 42")
+	}
+	if ro.Cycles == rd.Cycles && ro.Stats == rd.Stats {
+		t.Errorf("seed 7 ran identically to the default seed: the seed does not reach the workload")
+	}
+	// And an explicit 42 must be exactly the default.
+	forty := base
+	forty.Seed = 42
+	rf, err := Run(forty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Cycles != rd.Cycles || rf.Stats != rd.Stats {
+		t.Errorf("explicit seed 42 differs from the default: %d vs %d cycles", rf.Cycles, rd.Cycles)
+	}
+}
+
 // TestAllAppsValidateOnAllVariants runs every app on every ASF variant
 // (small scale) — the validation inside Run is the assertion.
 func TestAllAppsValidateOnAllVariants(t *testing.T) {

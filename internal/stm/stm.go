@@ -37,6 +37,15 @@ type Config struct {
 	// MaxRetriesBeforeSerial bounds optimistic retries before the
 	// transaction becomes irrevocable (TinySTM's serial mode).
 	MaxRetriesBeforeSerial int
+	// PrivatizationSafe enables commit-time quiescence (TinySTM's
+	// stm_quiesce): a committing writer waits until every concurrent
+	// transaction has finished or revalidated against its commit before
+	// returning. Without it a doomed transaction can write through — or
+	// undo — in place *after* a privatizing transaction committed,
+	// clobbering data its owner now accesses with plain operations (the
+	// litmus suite's privatization test catches exactly this). On by
+	// default; the litmus matrix pins the unsafe behaviour as a regression.
+	PrivatizationSafe bool
 	// Backoff bounds (cycles).
 	BackoffBase, BackoffMax uint64
 
@@ -53,6 +62,7 @@ func DefaultConfig() Config {
 	return Config{
 		LockBits:               18,
 		MaxRetriesBeforeSerial: 64,
+		PrivatizationSafe:      true,
 		BackoffBase:            64,
 		BackoffMax:             1 << 16,
 		BeginInstr:             70,
@@ -84,10 +94,30 @@ type Runtime struct {
 
 	serialLock mem.Addr // irrevocable-mode token
 
+	// statusBase is the per-core published transaction status used by
+	// commit-time quiescence, one cache line per core. The word encodes
+	// start<<1|1 while a revocable transaction is live and 0 when idle
+	// (or irrevocable — a serial transaction can never abort-and-undo, so
+	// it is not a zombie hazard and nobody needs to wait for it).
+	statusBase mem.Addr
+
 	stats []tm.Stats
 	descs []*txDesc
 
+	hook tm.CommitHook
+
 	met rtMetrics
+}
+
+// SetCommitHook implements tm.HookableRuntime.
+func (r *Runtime) SetCommitHook(h tm.CommitHook) { r.hook = h }
+
+// notifyCommit reports a commit to the hook under the global turn (see
+// tm.CommitHook).
+func (r *Runtime) notifyCommit(c *sim.CPU, serial bool) {
+	if r.hook != nil {
+		c.SpecOp(0, func() { r.hook(c.ID(), serial) })
+	}
 }
 
 // rtMetrics holds the runtime's metric handles (zero-value inert).
@@ -167,6 +197,10 @@ func New(m *sim.Machine, heap *tm.Heap, layout *mem.Layout) *Runtime {
 	r.lockBase = base + mem.PageSize
 	r.lockMask = nLocks - 1
 
+	statusBase, statusEnd := layout.Region(uint64(cores) * mem.LineSize)
+	m.Mem.Prefault(statusBase, uint64(statusEnd-statusBase))
+	r.statusBase = statusBase
+
 	for i := 0; i < cores; i++ {
 		logBase, logEnd := layout.Region(1 << 18) // 256 KiB of log space
 		m.Mem.Prefault(logBase, uint64(logEnd-logBase))
@@ -198,6 +232,50 @@ func (r *Runtime) ResetStats() {
 func (r *Runtime) lockFor(a mem.Addr) mem.Addr {
 	idx := (uint64(a) >> mem.WordShift) & r.lockMask
 	return r.lockBase + mem.Addr(idx*mem.WordSize)
+}
+
+func (r *Runtime) statusAddr(core int) mem.Addr {
+	return r.statusBase + mem.Addr(uint64(core)*mem.LineSize)
+}
+
+// publishStatus records this core's live start timestamp (or idle) for
+// quiescing committers.
+func (t *txDesc) publishStatus(live bool) {
+	if !t.r.cfg.PrivatizationSafe {
+		return
+	}
+	w := mem.Word(0)
+	if live {
+		w = mem.Word(t.start)<<1 | 1
+	}
+	t.c.Store(t.r.statusAddr(t.c.ID()), w)
+}
+
+// quiesce is the privatization-safety wait: after publishing a commit at
+// timestamp ts (locks already released), wait until no other core is still
+// running a transaction that started before ts. Any such transaction is a
+// potential zombie — doomed by this commit but not yet aware — and could
+// otherwise write through, or roll back, in place after our caller starts
+// treating the data as private. The committer's own status is already idle,
+// so two quiescing writers never wait for each other; zombies drain because
+// their next barrier revalidates against the moved clock and aborts.
+func (r *Runtime) quiesce(c *sim.CPU, ts uint64) {
+	if !r.cfg.PrivatizationSafe || len(r.descs) == 1 {
+		return
+	}
+	me := c.ID()
+	for i := range r.descs {
+		if i == me {
+			continue
+		}
+		for {
+			s := c.Load(r.statusAddr(i))
+			if s&1 == 0 || uint64(s>>1) >= ts {
+				break
+			}
+			c.Cycles(120)
+		}
+	}
 }
 
 // Atomic implements tm.Runtime.
@@ -239,6 +317,7 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 		}()
 
 		if committed {
+			r.notifyCommit(c, t.serial)
 			if t.serial {
 				r.releaseSerial(c)
 				r.met.serialCycles.Add(c.ID(), c.Now()-t.serialStart)
@@ -257,6 +336,7 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 
 		// Aborted: roll back in-place writes, release locks, back off.
 		t.undo()
+		t.publishStatus(false)
 		c.MoveToAbort(snap)
 		c.Trace(sim.TraceTxAbort, 0)
 		c.SetCategory(sim.CatAbort)
@@ -315,6 +395,9 @@ func (t *txDesc) begin() {
 	t.start = versionOf(c.Load(t.r.clockAddr) &^ 1)
 	t.active = true
 	t.depth = 1
+	if !t.serial {
+		t.publishStatus(true)
+	}
 }
 
 func (t *txDesc) abort() {
@@ -422,13 +505,19 @@ func (t *txDesc) extend() {
 		}
 	}
 	t.start = now
+	if !t.serial {
+		// The snapshot moved forward: quiescers waiting on this commit's
+		// timestamp may now stop waiting for us.
+		t.publishStatus(true)
+	}
 }
 
 func (t *txDesc) commit() {
 	c := t.c
 	c.Exec(t.r.cfg.CommitInstr)
 	if len(t.writes) == 0 {
-		return // read-only: nothing to publish
+		t.publishStatus(false)
+		return // read-only: nothing to publish, nobody saw us
 	}
 	// An irrevocable transaction may have taken the token after we
 	// started: it reads in place without logging, so we must not publish
@@ -447,6 +536,10 @@ func (t *txDesc) commit() {
 			c.Store(w.lockAddr, versionWord(ts))
 		}
 	}
+	// Locks are released and this commit can no longer fail, so going idle
+	// first keeps concurrent quiescing writers from waiting on each other.
+	t.publishStatus(false)
+	t.r.quiesce(c, ts)
 }
 
 // undo rolls back in-place writes (reverse order) and releases locks.

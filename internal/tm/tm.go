@@ -134,6 +134,25 @@ const (
 	CodeSeqLocked uint64 = 0x5E90C
 )
 
+// CommitHook observes committed transactions in global commit order: core
+// is the committing core and serial reports serial-irrevocable mode. The
+// litmus conformance suite installs one to reconstruct the serialization
+// order a run exhibited.
+//
+// Runtimes invoke the hook through sim.CPU.SpecOp, i.e. while holding the
+// global turn, so invocations are totally ordered and the hook may touch
+// shared (host) state without synchronisation — but it must stay cheap, and
+// it observes a commit that has already happened (it cannot veto).
+type CommitHook func(core int, serial bool)
+
+// HookableRuntime is implemented by runtimes that can notify a CommitHook.
+// Passing nil uninstalls the hook. All runtimes in this repository
+// implement it; it is kept out of Runtime so external implementations stay
+// source-compatible.
+type HookableRuntime interface {
+	SetCommitHook(CommitHook)
+}
+
 // Irrevocably is implemented by transactions that can switch to
 // serial-irrevocable mode mid-flight — the lowering DTMC emits before
 // calling a function with no transactional clone. The switch may restart

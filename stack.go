@@ -70,6 +70,8 @@ type Stack struct {
 	// HYTM is the hybrid runtime when Runtime selected one ("HyTM-8",
 	// "HyTM-256"), else nil.
 	HYTM *hytm.Runtime
+	// STM is the TinySTM runtime when Runtime is "STM", else nil.
+	STM *stm.Runtime
 	// RT is the selected runtime behind the portable ABI.
 	RT tm.Runtime
 	// Metrics is the stack-wide registry: every layer registers its
@@ -155,9 +157,9 @@ func New(opts Options) *Stack {
 	s.gauges.register(s.Metrics)
 	switch opts.Runtime {
 	case "STM":
-		rt := stm.New(m, heap, layout)
-		rt.SetMetrics(s.Metrics)
-		s.RT = rt
+		s.STM = stm.New(m, heap, layout)
+		s.STM.SetMetrics(s.Metrics)
+		s.RT = s.STM
 	case "Sequential", "":
 		s.RT = seq.New(heap, opts.Cores)
 	case "HyTM-8", "HyTM-256":
