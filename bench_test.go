@@ -92,6 +92,17 @@ func BenchmarkTable1(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptive — E13 static-vs-adaptive runtime-selection sweep
+// (3 STAMP apps × 5 runtimes × 2 thread counts + 2 IntegerSet cells × 5
+// runtimes). Its allocs/op and B/op are gated by benchjson -compare in CI.
+func BenchmarkAdaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Adaptive(harness.Options{Scale: benchScale}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- per-workload micro-benchmarks with simulated-metric reporting -------
 
 // benchIntset runs one IntegerSet configuration per iteration, reporting

@@ -1,0 +1,217 @@
+package adaptive_test
+
+import (
+	"testing"
+
+	"asfstack"
+	"asfstack/internal/adaptive"
+	"asfstack/internal/mem"
+	"asfstack/internal/sim"
+	"asfstack/internal/tm"
+)
+
+func newStack(t *testing.T, cores int) *asfstack.Stack {
+	t.Helper()
+	return asfstack.New(asfstack.Options{Cores: cores, Runtime: "Adaptive-8"})
+}
+
+// TestAtomicCounterAcrossModes: correctness of the shared-state handoff —
+// contended increments must survive whatever mode the selector picks.
+func TestAtomicCounterAcrossModes(t *testing.T) {
+	s := newStack(t, 4)
+	ctr := s.AllocShared(8)
+	const rounds = 300
+	s.Parallel(4, func(c *sim.CPU) {
+		for i := 0; i < rounds; i++ {
+			s.Atomic(c, func(tx tm.Tx) {
+				tx.Store(ctr, tx.Load(ctr)+1)
+			})
+		}
+	})
+	if got := s.M.Mem.Load(ctr); got != 4*rounds {
+		t.Fatalf("counter = %d, want %d (lost updates across a mode switch)", got, 4*rounds)
+	}
+	if total := s.TotalStats(); total.Commits != 4*rounds {
+		t.Fatalf("commits = %d, want %d", total.Commits, 4*rounds)
+	}
+}
+
+// TestForceRotateSwitchesThroughAllRuntimes drives the switch protocol
+// through every mode pair repeatedly (run with -race: the quiescent gate is
+// what keeps inner-runtime host state single-owner).
+func TestForceRotateSwitchesThroughAllRuntimes(t *testing.T) {
+	s := newStack(t, 4)
+	cfg := adaptive.DefaultConfig()
+	cfg.ForceRotate = true
+	cfg.ProbeWindow = 40
+	s.ADAPT.SetConfig(cfg)
+	ctr := s.AllocShared(8)
+	const rounds = 400
+	s.Parallel(4, func(c *sim.CPU) {
+		for i := 0; i < rounds; i++ {
+			s.Atomic(c, func(tx tm.Tx) {
+				tx.Store(ctr, tx.Load(ctr)+1)
+				tx.Store(ctr+mem.Addr(8+8*c.ID()), mem.Word(i))
+			})
+		}
+	})
+	if got := s.M.Mem.Load(ctr); got != 4*rounds {
+		t.Fatalf("counter = %d, want %d", got, 4*rounds)
+	}
+	sw := s.ADAPT.Switches()
+	if len(sw) < adaptive.NumModes {
+		t.Fatalf("switches = %d, want at least one full rotation (%d)", len(sw), adaptive.NumModes)
+	}
+	seen := map[string]bool{}
+	for _, e := range sw {
+		if e.Trigger != "rotate" {
+			t.Fatalf("trigger = %q, want rotate", e.Trigger)
+		}
+		seen[e.To] = true
+	}
+	for _, name := range []string{"LLB-8", "HyTM-8", "STM", "Cohorts-turbo"} {
+		if !seen[name] {
+			t.Fatalf("rotation never reached %s (saw %v)", name, sw)
+		}
+	}
+}
+
+// TestProbeSettlesAndLogs: the default policy must run its probe round and
+// settle, and the decision log must record probes before the settle.
+func TestProbeSettlesAndLogs(t *testing.T) {
+	s := newStack(t, 4)
+	cfg := adaptive.DefaultConfig()
+	cfg.ProbeWindow = 50
+	cfg.ExploitWindow = 200
+	s.ADAPT.SetConfig(cfg)
+	ctr := s.AllocShared(8)
+	s.Parallel(4, func(c *sim.CPU) {
+		for i := 0; i < 500; i++ {
+			s.Atomic(c, func(tx tm.Tx) {
+				tx.Store(ctr, tx.Load(ctr)+1)
+			})
+		}
+	})
+	sw := s.ADAPT.Switches()
+	if len(sw) == 0 {
+		t.Fatal("no switches logged; probe round never ran")
+	}
+	settled := false
+	for _, e := range sw {
+		if e.Trigger == "probe" || e.Trigger == "reprobe" {
+			continue
+		}
+		settled = true
+	}
+	if !settled {
+		t.Fatalf("no settle decision in log: %v", sw)
+	}
+}
+
+// TestCapacityPhasePrunesASFTM: on a capacity-bound workload (write sets
+// far beyond the LLB-8), the selector must never probe ASF-TM, so the cell
+// finishes with zero serial-irrevocable entries — the E13 acceptance
+// criterion in miniature.
+func TestCapacityPhasePrunesASFTM(t *testing.T) {
+	s := newStack(t, 4)
+	cfg := adaptive.DefaultConfig()
+	cfg.ProbeWindow = 30
+	cfg.ExploitWindow = 100
+	s.ADAPT.SetConfig(cfg)
+	base := s.AllocShared(64 * mem.LineSize)
+	s.Parallel(4, func(c *sim.CPU) {
+		for i := 0; i < 120; i++ {
+			s.Atomic(c, func(tx tm.Tx) {
+				for j := 0; j < 20; j++ { // 20 lines: overflows LLB-8
+					a := base + mem.Addr((c.ID()*20+j)&63)*mem.LineSize
+					tx.Store(a, tx.Load(a)+1)
+				}
+			})
+		}
+	})
+	total := s.TotalStats()
+	if total.Serial != 0 {
+		t.Fatalf("serial entries = %d on a capacity-bound cell, want 0 (ASF-TM must be pruned)", total.Serial)
+	}
+	for _, e := range s.ADAPT.Switches() {
+		if e.To == "LLB-8" {
+			t.Fatalf("selector switched to ASF-TM on a capacity-bound phase: %v", e)
+		}
+	}
+}
+
+// TestNestedAtomicStaysOnOneRuntime: flat nesting must not re-enter the
+// gate (a switch between outer and inner would deadlock or split the
+// transaction across runtimes).
+func TestNestedAtomicStaysOnOneRuntime(t *testing.T) {
+	s := newStack(t, 2)
+	a := s.AllocShared(64)
+	s.Parallel(2, func(c *sim.CPU) {
+		for i := 0; i < 50; i++ {
+			s.Atomic(c, func(tx tm.Tx) {
+				tx.Store(a, tx.Load(a)+1)
+				s.Atomic(c, func(inner tm.Tx) {
+					inner.Store(a+8, inner.Load(a+8)+1)
+				})
+			})
+		}
+	})
+	if got := s.M.Mem.Load(a); got != 100 {
+		t.Fatalf("outer counter = %d, want 100", got)
+	}
+	if got := s.M.Mem.Load(a + 8); got != 100 {
+		t.Fatalf("inner counter = %d, want 100", got)
+	}
+}
+
+// TestDeterminism: the selector's decisions are part of the simulation and
+// must replay exactly.
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, tm.Stats, int) {
+		s := newStack(t, 4)
+		cfg := adaptive.DefaultConfig()
+		cfg.ProbeWindow = 40
+		cfg.ExploitWindow = 160
+		s.ADAPT.SetConfig(cfg)
+		ctr := s.AllocShared(8)
+		d := s.Parallel(4, func(c *sim.CPU) {
+			for i := 0; i < 300; i++ {
+				s.Atomic(c, func(tx tm.Tx) {
+					tx.Store(ctr, tx.Load(ctr)+1)
+				})
+			}
+		})
+		return d, s.TotalStats(), len(s.ADAPT.Switches())
+	}
+	d1, s1, n1 := run()
+	d2, s2, n2 := run()
+	if d1 != d2 || s1 != s2 || n1 != n2 {
+		t.Fatalf("nondeterministic: %d/%+v/%d vs %d/%+v/%d", d1, s1, n1, d2, s2, n2)
+	}
+}
+
+// TestStatsAggregateAcrossModes: Stats must report the union of work done
+// on every inner runtime, and ResetStats must clear all of them.
+func TestStatsAggregateAcrossModes(t *testing.T) {
+	s := newStack(t, 2)
+	cfg := adaptive.DefaultConfig()
+	cfg.ForceRotate = true
+	cfg.ProbeWindow = 20
+	s.ADAPT.SetConfig(cfg)
+	ctr := s.AllocShared(8)
+	body := func(c *sim.CPU) {
+		for i := 0; i < 150; i++ {
+			s.Atomic(c, func(tx tm.Tx) {
+				tx.Store(ctr, tx.Load(ctr)+1)
+			})
+		}
+	}
+	s.Parallel(2, body)
+	if total := s.TotalStats(); total.Commits != 300 {
+		t.Fatalf("commits = %d, want 300 across modes", total.Commits)
+	}
+	s.RT.ResetStats()
+	if total := s.TotalStats(); total.Commits != 0 {
+		t.Fatalf("commits = %d after ResetStats, want 0", total.Commits)
+	}
+}

@@ -87,7 +87,7 @@ func progf(w Progress, format string, args ...any) {
 
 // Experiment names accepted by Run, in paper order; the extension
 // experiments (E11+) follow the paper's figures.
-var Names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "hybrid", "litmus"}
+var Names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "hybrid", "litmus", "adaptive"}
 
 // Descriptions maps each experiment in Names to the one-line summary
 // cmd/asfbench -list prints.
@@ -100,7 +100,8 @@ var Descriptions = map[string]string{
 	"fig8":   "early release: linked-list throughput with and without early release",
 	"table1": "single-thread overhead: cycle breakdown ASF-TM vs TinySTM, plus Fig. 9 composition",
 	"hybrid": "E11: capacity-bound cells, serial-fallback ASF-TM vs the hybrid (HyTM) runtime",
-	"litmus": "E12: cross-runtime litmus conformance — deterministic schedule explorer vs oracle envelopes",
+	"litmus":   "E12: cross-runtime litmus conformance — deterministic schedule explorer vs oracle envelopes",
+	"adaptive": "E13: static-vs-adaptive runtime selection — four statics vs the online selector, with its decision log",
 }
 
 // Run executes one named experiment and returns its tables in figure
@@ -141,6 +142,8 @@ func runExperiment(name string, o Options) ([]*Table, error) {
 		return Hybrid(o)
 	case "litmus":
 		return Litmus(o)
+	case "adaptive":
+		return Adaptive(o)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (want one of %v)", name, Names)
 	}

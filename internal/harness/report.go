@@ -137,7 +137,7 @@ func RunReport(name string, o Options) (*ExperimentReport, error) {
 // cell reports in cell order, so its text is identical for any worker
 // count.
 func abortTable(name string, cells []*CellReport) *Table {
-	header := []string{"cell", "commits", "serial", "sw"}
+	header := []string{"cell", "commits", "serial", "sw", "seal"}
 	for r := 1; r < sim.NumAbortReasons; r++ { // skip AbortNone
 		header = append(header, sim.AbortReason(r).String())
 	}
@@ -146,7 +146,8 @@ func abortTable(name string, cells []*CellReport) *Table {
 		Title:  fmt.Sprintf("%s — abort attribution (counts; one row per configuration)", name),
 		Header: header,
 		Note: "explicit includes malloc-refill aborts; stm counts software validation aborts; " +
-			"sw = concurrent software-fallback commits, seq = seqlock-induced hardware aborts (hybrid runtime)",
+			"sw = concurrent software-fallback commits, seq = seqlock-induced hardware aborts (hybrid runtime), " +
+			"seal = cohort commit batches (cohorts runtime)",
 	}
 	for _, c := range cells {
 		if c.Sim == nil {
@@ -158,7 +159,7 @@ func abortTable(name string, cells []*CellReport) *Table {
 			continue
 		}
 		st := c.Sim.Stats
-		row := []any{c.Label, st.Commits, st.Serial, st.SWCommits}
+		row := []any{c.Label, st.Commits, st.Serial, st.SWCommits, st.Seals}
 		for r := 1; r < sim.NumAbortReasons; r++ {
 			row = append(row, st.Aborts[r])
 		}

@@ -207,6 +207,7 @@ func TestAbortTableGolden(t *testing.T) {
 	st.Commits = 100
 	st.Serial = 3
 	st.SWCommits = 40
+	st.Seals = 12
 	st.Aborts[sim.AbortContention] = 7
 	st.Aborts[sim.AbortCapacity] = 5
 	st.Aborts[sim.AbortExplicit] = 2
@@ -220,12 +221,13 @@ func TestAbortTableGolden(t *testing.T) {
 	var b strings.Builder
 	abortTable("hybrid", cells).Fprint(&b)
 	want := "\n== hybrid — abort attribution (counts; one row per configuration) ==\n" +
-		"cell             commits  serial  sw   contention  capacity  page-fault  interrupt  syscall  explicit  disallowed  nesting  malloc  stm  seq\n" +
-		"---------------  -------  ------  ---  ----------  --------  ----------  ---------  -------  --------  ----------  -------  ------  ---  ---\n" +
-		"hybrid demo t=8  100      3       40   7           5         0           0          0        2         0           0        2       9    4\n" +
-		"failed cell      ERR      ERR     ERR  ERR         ERR       ERR         ERR        ERR      ERR       ERR         ERR      ERR     ERR  ERR\n" +
+		"cell             commits  serial  sw   seal  contention  capacity  page-fault  interrupt  syscall  explicit  disallowed  nesting  malloc  stm  seq\n" +
+		"---------------  -------  ------  ---  ----  ----------  --------  ----------  ---------  -------  --------  ----------  -------  ------  ---  ---\n" +
+		"hybrid demo t=8  100      3       40   12    7           5         0           0          0        2         0           0        2       9    4\n" +
+		"failed cell      ERR      ERR     ERR  ERR   ERR         ERR       ERR         ERR        ERR      ERR       ERR         ERR      ERR     ERR  ERR\n" +
 		"note: explicit includes malloc-refill aborts; stm counts software validation aborts; " +
-		"sw = concurrent software-fallback commits, seq = seqlock-induced hardware aborts (hybrid runtime)\n"
+		"sw = concurrent software-fallback commits, seq = seqlock-induced hardware aborts (hybrid runtime), " +
+		"seal = cohort commit batches (cohorts runtime)\n"
 	if got := b.String(); got != want {
 		t.Fatalf("abort table rendering changed:\n--- got ---\n%q\n--- want ---\n%q", got, want)
 	}

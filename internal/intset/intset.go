@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"asfstack"
+	"asfstack/internal/adaptive"
 	"asfstack/internal/metrics"
 	"asfstack/internal/sim"
 	"asfstack/internal/tm"
@@ -56,6 +57,9 @@ type Result struct {
 	// Metrics is the full registry snapshot at the end of the measured
 	// phase (every layer's instruments).
 	Metrics *metrics.Snapshot
+	// Switches is the adaptive selector's decision log when Runtime is one
+	// of the Adaptive configurations; nil for the static runtimes.
+	Switches []adaptive.Switch
 	// TraceEvents are the measured phase's trace events when
 	// Config.Trace was set; TraceStart is the phase's start cycle.
 	TraceEvents []sim.TraceEvent
@@ -179,6 +183,9 @@ func Run(cfg Config) (Result, error) {
 		res.Breakdown = res.Breakdown.Add(s.M.CPU(i).Counters())
 	}
 	res.Metrics = s.MetricsSnapshot()
+	if s.ADAPT != nil {
+		res.Switches = s.ADAPT.Switches()
+	}
 	if cfg.Trace {
 		res.TraceEvents = s.M.TraceEvents()
 		res.TraceStart = start

@@ -80,6 +80,14 @@ func Matrix() []RuntimeConfig {
 		// while holding the token: atomic against transactions (they all
 		// take the token) but torn for plain readers.
 		{Label: "SerialToken", Stack: "LLB-256", ForceSerial: true, Isolation: IsolationWeak},
+		// Cohorts publishes redo logs with plain stores during the batched
+		// commit phase (and turbo mode writes in place mid-transaction), so
+		// plain readers can observe a writeback mid-way — the same weak
+		// class as HyTM-SW and STM. Both configurations are judged against
+		// the weak envelope; the turbo column additionally exercises the
+		// uninstrumented-last-member path.
+		{Label: "Cohorts", Stack: "Cohorts", Isolation: IsolationWeak},
+		{Label: "Cohorts-turbo", Stack: "Cohorts-turbo", Isolation: IsolationWeak},
 	}
 }
 

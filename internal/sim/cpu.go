@@ -410,6 +410,18 @@ func (c *CPU) FetchAdd(a mem.Addr, delta mem.Word) mem.Word {
 // Fence charges a full memory barrier.
 func (c *CPU) Fence() { c.Cycles(8) }
 
+// IdleHint announces a quiescent state: the core is in a long
+// non-transactional wait (a barrier spin, a thread exit) and will start no
+// transaction before its next runtime entry point. Runtimes that track
+// per-core liveness (the adaptive selector's switch gate) subscribe via
+// Machine.SetIdleHook; with no subscriber the hint is free. Safe to call
+// from any spin-loop iteration — subscribers make repeats idempotent.
+func (c *CPU) IdleHint() {
+	if h := c.m.idleHook; h != nil {
+		h(c)
+	}
+}
+
 // SpecOp performs a speculative-unit operation (SPECULATE, COMMIT, ABORT,
 // RELEASE bookkeeping) atomically at the current time while holding the
 // global turn. Pending asynchronous aborts are delivered first, so a COMMIT

@@ -126,6 +126,12 @@ type Machine struct {
 
 	hook AccessHook
 
+	// idleHook, when set, is invoked by CPU.IdleHint — a cooperative
+	// quiescence annotation (RCU-style) that long non-transactional spin
+	// loops (barriers) and thread exits call so a runtime that tracks
+	// per-core liveness can observe the core as quiescent. Set before Run.
+	idleHook func(*CPU)
+
 	// Scheduling state. Guarded by possession of the turn token except
 	// during Run's startup collection, when no core holds it.
 	checkins chan int      // one per core per Run: "I reached my first yield"
@@ -207,6 +213,10 @@ func (m *Machine) CPU(i int) *CPU { return m.cpus[i] }
 
 // SetAccessHook installs the machine-wide memory access hook.
 func (m *Machine) SetAccessHook(h AccessHook) { m.hook = h }
+
+// SetIdleHook installs the cooperative-quiescence callback CPU.IdleHint
+// invokes. Install before Run; nil disables (IdleHint becomes free).
+func (m *Machine) SetIdleHook(h func(*CPU)) { m.idleHook = h }
 
 // CyclesToNanos converts simulated cycles to simulated nanoseconds.
 func (m *Machine) CyclesToNanos(cy uint64) float64 {

@@ -33,6 +33,10 @@ func (b *Barrier) Wait(c *sim.CPU) {
 		return
 	}
 	for c.Load(b.addr+8) == gen {
+		// Quiescent state, like a pthread barrier wait: no transaction can
+		// start before the barrier releases, so runtimes tracking per-core
+		// liveness may treat this core as drained.
+		c.IdleHint()
 		c.Cycles(120)
 	}
 }

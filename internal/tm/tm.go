@@ -87,6 +87,11 @@ type Stats struct {
 	// software commit's seqlock acquisition (attributed to the acquiring
 	// core). Non-hybrid runtimes leave this zero.
 	SeqAborts uint64
+	// Seals: cohorts this core sealed (it was the first member of a batch
+	// to reach its commit point, closing admission). Only the Cohorts
+	// runtime populates it; the count of seals across cores is the number
+	// of commit batches the run executed.
+	Seals uint64
 }
 
 // TotalAborts sums hardware and software aborts.
@@ -112,6 +117,7 @@ func (s *Stats) Add(o Stats) {
 	s.MallocAborts += o.MallocAborts
 	s.STMAborts += o.STMAborts
 	s.SeqAborts += o.SeqAborts
+	s.Seals += o.Seals
 }
 
 // Explicit-abort software codes (carried in rAX by the ABORT instruction).
@@ -146,9 +152,10 @@ const (
 type CommitHook func(core int, serial bool)
 
 // HookableRuntime is implemented by runtimes that can notify a CommitHook.
-// Passing nil uninstalls the hook. All runtimes in this repository
-// implement it; it is kept out of Runtime so external implementations stay
-// source-compatible.
+// Passing nil uninstalls the hook. Every runtime in this repository —
+// ASF-TM, HyTM, STM, Cohorts, the sequential baseline, and the adaptive
+// selector — implements it; it is kept out of Runtime so external
+// implementations stay source-compatible.
 type HookableRuntime interface {
 	SetCommitHook(CommitHook)
 }

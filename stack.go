@@ -22,8 +22,10 @@ package asfstack
 import (
 	"fmt"
 
+	"asfstack/internal/adaptive"
 	"asfstack/internal/asf"
 	"asfstack/internal/asftm"
+	"asfstack/internal/cohorts"
 	"asfstack/internal/hytm"
 	"asfstack/internal/mem"
 	"asfstack/internal/metrics"
@@ -37,7 +39,8 @@ import (
 // paper's figures use them.
 var RuntimeNames = []string{
 	"LLB-8", "LLB-256", "LLB-8 w/ L1", "LLB-256 w/ L1", "STM",
-	"HyTM-8", "HyTM-256", "Sequential",
+	"HyTM-8", "HyTM-256", "Cohorts", "Cohorts-turbo",
+	"Adaptive-8", "Adaptive-256", "Sequential",
 }
 
 // Options configures a Stack.
@@ -72,6 +75,13 @@ type Stack struct {
 	HYTM *hytm.Runtime
 	// STM is the TinySTM runtime when Runtime is "STM", else nil.
 	STM *stm.Runtime
+	// COHORTS is the batch-commit runtime when Runtime is "Cohorts" or
+	// "Cohorts-turbo", else nil.
+	COHORTS *cohorts.Runtime
+	// ADAPT is the online runtime selector when Runtime is "Adaptive-8",
+	// "Adaptive-256" (or the "adaptive" alias), else nil. When set, the
+	// per-runtime fields above point at its inner instances.
+	ADAPT *adaptive.Runtime
 	// RT is the selected runtime behind the portable ABI.
 	RT tm.Runtime
 	// Metrics is the stack-wide registry: every layer registers its
@@ -102,6 +112,7 @@ type stackGauges struct {
 	tmSTMAborts         metrics.Gauge
 	tmSWCommits         metrics.Gauge
 	tmSeqAborts         metrics.Gauge
+	tmSeals             metrics.Gauge
 }
 
 func (g *stackGauges) register(reg *metrics.Registry) {
@@ -130,6 +141,7 @@ func (g *stackGauges) register(reg *metrics.Registry) {
 	g.tmSTMAborts = reg.Gauge("tm/stm_aborts")
 	g.tmSWCommits = reg.Gauge("tm/sw_commits")
 	g.tmSeqAborts = reg.Gauge("tm/seq_aborts")
+	g.tmSeals = reg.Gauge("tm/cohort_seals")
 }
 
 // New builds a stack. It panics on configuration errors (these are
@@ -178,6 +190,54 @@ func New(opts Options) *Stack {
 		s.HYTM = hytm.New(s.ASF, heap, m, layout, opts.Runtime)
 		s.HYTM.SetMetrics(s.Metrics)
 		s.RT = s.HYTM
+	case "Cohorts", "Cohorts-turbo":
+		s.COHORTS = cohorts.New(m, heap, layout, opts.Runtime)
+		s.COHORTS.SetMetrics(s.Metrics)
+		cfg := cohorts.DefaultConfig()
+		cfg.Turbo = opts.Runtime == "Cohorts-turbo"
+		s.COHORTS.SetConfig(cfg)
+		s.RT = s.COHORTS
+	case "Adaptive-8", "Adaptive-256", "adaptive":
+		// The selector owns one instance of every runtime over the same
+		// machine, heap, and ASF system, and switches the active one at
+		// quiescent points ("adaptive" is the LLB-8 alias).
+		vname := "LLB-8"
+		if opts.Runtime == "Adaptive-256" {
+			vname = "LLB-256"
+		}
+		v, err := asf.VariantByName(vname)
+		if err != nil {
+			panic(fmt.Sprintf("asfstack: %v", err))
+		}
+		s.ASF = asf.Install(m, v)
+		s.ASF.SetMetrics(s.Metrics)
+		s.ASFTM = asftm.New(s.ASF, heap, m, layout)
+		s.ASFTM.SetMetrics(s.Metrics)
+		hname := "HyTM-8"
+		if vname == "LLB-256" {
+			hname = "HyTM-256"
+		}
+		s.HYTM = hytm.New(s.ASF, heap, m, layout, hname)
+		s.HYTM.SetMetrics(s.Metrics)
+		s.STM = stm.New(m, heap, layout)
+		s.STM.SetMetrics(s.Metrics)
+		s.COHORTS = cohorts.New(m, heap, layout, "Cohorts-turbo")
+		s.COHORTS.SetMetrics(s.Metrics)
+		ccfg := cohorts.DefaultConfig()
+		ccfg.Turbo = true
+		s.COHORTS.SetConfig(ccfg)
+		name := opts.Runtime
+		if name == "adaptive" {
+			name = "Adaptive-8"
+		}
+		s.ADAPT = adaptive.New(m, layout, name, [adaptive.NumModes]tm.Runtime{
+			adaptive.ModeASFTM:   s.ASFTM,
+			adaptive.ModeHyTM:    s.HYTM,
+			adaptive.ModeSTM:     s.STM,
+			adaptive.ModeCohorts: s.COHORTS,
+		})
+		s.ADAPT.SetMetrics(s.Metrics)
+		s.RT = s.ADAPT
 	default:
 		v, err := asf.VariantByName(opts.Runtime)
 		if err != nil {
@@ -202,11 +262,17 @@ func (s *Stack) AllocShared(size uint64) mem.Addr {
 }
 
 // Parallel runs one thread body on each of n cores to completion and
-// returns the simulated duration in cycles.
+// returns the simulated duration in cycles. Each thread announces a final
+// quiescent state on exit (CPU.IdleHint), so a runtime tracking per-core
+// liveness — the adaptive selector's switch gate — never waits on a core
+// that has left the region.
 func (s *Stack) Parallel(n int, body func(c *sim.CPU)) uint64 {
 	bodies := make([]func(*sim.CPU), n)
 	for i := range bodies {
-		bodies[i] = body
+		bodies[i] = func(c *sim.CPU) {
+			body(c)
+			c.IdleHint()
+		}
 	}
 	return s.M.Run(bodies...)
 }
@@ -269,6 +335,7 @@ func (s *Stack) fillGauges() {
 		s.gauges.tmSTMAborts.Set(i, st.STMAborts)
 		s.gauges.tmSWCommits.Set(i, st.SWCommits)
 		s.gauges.tmSeqAborts.Set(i, st.SeqAborts)
+		s.gauges.tmSeals.Set(i, st.Seals)
 	}
 }
 
