@@ -140,6 +140,31 @@ func BenchmarkIntsetHashSetASF(b *testing.B) {
 		Threads: 8, Range: 4096, UpdatePct: 100, OpsPerThread: 400})
 }
 
+// BenchmarkIntsetProfiled is the flight-recorder-enabled twin of
+// BenchmarkIntsetRBTreeASF: the same cell with txprof recording on,
+// reporting the profile's wasted-work share alongside throughput. The
+// wasted_pct unit is deliberately outside benchjson's deterministic set, so
+// -compare prints its drift as advisory and never gates on it.
+func BenchmarkIntsetProfiled(b *testing.B) {
+	cfg := intset.Config{Structure: "rbtree", Runtime: "LLB-256",
+		Threads: 8, Range: 1024, UpdatePct: 20, OpsPerThread: 400, Profile: true}
+	var thr, wasted float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		r, err := intset.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Profile == nil {
+			b.Fatal("profiling enabled but no profile returned")
+		}
+		thr = r.Throughput()
+		wasted = 100 * r.Profile.Summary.WastedRatio
+	}
+	b.ReportMetric(thr, "simtx/us")
+	b.ReportMetric(wasted, "wasted_pct")
+}
+
 // benchStamp runs one STAMP configuration per iteration, reporting the
 // simulated execution time.
 func benchStamp(b *testing.B, app, rt string, threads int) {

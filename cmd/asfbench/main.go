@@ -10,6 +10,7 @@
 //	asfbench -experiment fig5 -scale 0.25 -parallel 8 -v
 //	asfbench -experiment fig5 -format json -o out.json
 //	asfbench -experiment fig5 -trace trace.json  # Chrome trace_event export
+//	asfbench -experiment txprof -profile -format json -o prof.json  # flight-recorder profiles (cmd/tmprof input)
 //	asfbench -validate out.json                  # check a report's schema
 //
 // Scale shrinks the workload sizes proportionally; 1.0 is the reported
@@ -56,6 +57,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text or json (a BenchReport document)")
 	outPath := flag.String("o", "", "write output to this file instead of stdout")
 	tracePath := flag.String("trace", "", "record sim traces and write a Chrome trace_event JSON file here")
+	profile := flag.Bool("profile", false,
+		"enable the transaction-level flight recorder in every cell (profiles land in the JSON report for cmd/tmprof)")
 	validatePath := flag.String("validate", "", "validate a BenchReport JSON file and exit (runs nothing)")
 	list := flag.Bool("list", false, "print every experiment name with a one-line description and exit")
 	flag.Parse()
@@ -99,6 +102,7 @@ func main() {
 			Parallel: *parallel,
 			Progress: prog,
 			Trace:    *tracePath != "",
+			Profile:  *profile,
 		})
 		if rep == nil {
 			// Unreachable for validated names; defensive.

@@ -153,12 +153,13 @@ func DefaultConfig() Config {
 	}
 }
 
-// Switch is one entry of the selector's decision log.
+// Switch is one entry of the selector's decision log. The json tags are the
+// machine-readable form the harness embeds in BenchReport cells (E13).
 type Switch struct {
-	Cycle   uint64 // simulated time of the switch (switching core's clock)
-	From    string // runtime labels
-	To      string
-	Trigger string // "probe", "settle rate=...", "reprobe", "rotate"
+	Cycle   uint64 `json:"cycle"`   // simulated time of the switch (switching core's clock)
+	From    string `json:"from"`    // runtime labels
+	To      string `json:"to"`
+	Trigger string `json:"trigger"` // "probe", "settle rate=...", "reprobe", "rotate"
 }
 
 // Runtime implements tm.Runtime as a mode-switching wrapper over the four
@@ -310,6 +311,14 @@ func (r *Runtime) ResetStats() {
 func (r *Runtime) SetCommitHook(h tm.CommitHook) {
 	for _, in := range r.inner {
 		in.(tm.HookableRuntime).SetCommitHook(h)
+	}
+}
+
+// SetProfiler implements tm.ProfilableRuntime by forwarding to every inner
+// runtime (whichever is active records).
+func (r *Runtime) SetProfiler(p tm.TxProfiler) {
+	for _, in := range r.inner {
+		in.(tm.ProfilableRuntime).SetProfiler(p)
 	}
 }
 

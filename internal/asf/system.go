@@ -126,13 +126,13 @@ func (s *System) onAccess(c *sim.CPU, addr mem.Addr, f sim.Flags) {
 		// misreport contention as capacity).
 		if p, ok := s.prot[line]; ok {
 			if w := int(p.writer); w >= 0 && w != self {
-				s.units[w].asyncAbort(sim.AbortContention)
+				s.units[w].asyncAbortFrom(sim.AbortContention, self, line)
 			}
 			if write {
 				rd := p.readers &^ (1 << uint(self))
 				for o := 0; rd != 0; o, rd = o+1, rd>>1 {
 					if rd&1 != 0 {
-						s.units[o].asyncAbort(sim.AbortContention)
+						s.units[o].asyncAbortFrom(sim.AbortContention, self, line)
 					}
 				}
 			}
@@ -190,9 +190,8 @@ func (s *System) onEvict(core int, line mem.Addr, specRead bool) {
 	}
 	u := s.units[core]
 	if u.active {
-		u.asyncAbort(sim.AbortCapacity)
+		u.asyncAbortFrom(sim.AbortCapacity, sim.NoCore, line)
 	}
-	_ = line
 }
 
 // abortAll aborts every active region except the one on core except

@@ -52,6 +52,15 @@ type Unit struct {
 
 	lastAbortCost uint64 // hardware rollback cost, charged at recovery
 	stats         Stats
+
+	// Last-region observability, read by the TM runtime after Region
+	// returns (flight recorder): the read/write-set sizes when the region
+	// ended, and — for aborts — the causality edge (aborter core and
+	// conflicting line, sim.NoCore/sim.NoAddr when unknown).
+	lastRead  uint64
+	lastWrite uint64
+	lastBy    int
+	lastAddr  mem.Addr
 }
 
 func newUnit(s *System, c *sim.CPU) *Unit {
@@ -61,6 +70,8 @@ func newUnit(s *System, c *sim.CPU) *Unit {
 		llb:         make([]llbEntry, 0, s.variant.LLBEntries),
 		readSet:     make(map[mem.Addr]struct{}),
 		cacheWrites: make(map[mem.Addr]*[mem.WordsPerLine]mem.Word),
+		lastBy:      sim.NoCore,
+		lastAddr:    sim.NoAddr,
 	}
 }
 
@@ -75,6 +86,16 @@ func (u *Unit) ResetStats() { u.stats = Stats{} }
 
 // CPU returns the core this unit belongs to.
 func (u *Unit) CPU() *sim.CPU { return u.c }
+
+// LastSetSizes returns the read/write-set sizes (in lines) of the region
+// that most recently ended — committed or rolled back — on this unit.
+func (u *Unit) LastSetSizes() (read, write uint64) { return u.lastRead, u.lastWrite }
+
+// LastAbortEdge returns the causality edge of the most recent abort: the
+// core whose access killed the region (sim.NoCore when self-inflicted or
+// unknown) and the conflicting or displaced cache line (sim.NoAddr when
+// unknown).
+func (u *Unit) LastAbortEdge() (by int, addr mem.Addr) { return u.lastBy, u.lastAddr }
 
 // --- region lifecycle ----------------------------------------------------
 
@@ -122,6 +143,7 @@ func (u *Unit) Region(body func()) (reason sim.AbortReason, code uint64) {
 				panic(r) // not ours: a real bug, keep unwinding
 			}
 			reason, code = ae.Reason, ae.Code
+			u.lastBy, u.lastAddr = ae.By, ae.Addr
 			// Synchronous aborts (capacity, explicit, colocation,
 			// page fault) arrive here with the region still active;
 			// asynchronous ones (contention, interrupt) were already
@@ -165,6 +187,7 @@ func (u *Unit) commit() {
 			u.sys.m.Hier.FlashClearSpecRead(u.c.ID())
 		}
 		read, write := u.setSizes()
+		u.lastRead, u.lastWrite = read, write
 		u.sys.met.readCommit.Observe(u.c.ID(), read)
 		u.sys.met.writeCommit.Observe(u.c.ID(), write)
 		u.reset()
@@ -186,11 +209,18 @@ func (u *Unit) rollback(reason sim.AbortReason) {
 // delivery at the core's next operation. Runs on the *aborting* core's
 // goroutine (or this core's own OS-event path) with the turn held.
 func (u *Unit) asyncAbort(reason sim.AbortReason) {
+	u.asyncAbortFrom(reason, sim.NoCore, sim.NoAddr)
+}
+
+// asyncAbortFrom is asyncAbort carrying the causality edge: the aborting
+// core and the conflicting (or displaced) line, delivered to the victim
+// through its pending-abort state for the flight recorder.
+func (u *Unit) asyncAbortFrom(reason sim.AbortReason, by int, line mem.Addr) {
 	if !u.active {
 		return
 	}
 	u.doRollback(reason)
-	u.c.PostAbort(reason)
+	u.c.PostAbortFrom(reason, by, line)
 }
 
 // AsyncAbort implements sim.SpecUnit for OS events (interrupts, faults,
@@ -223,6 +253,7 @@ func (u *Unit) doRollback(reason sim.AbortReason) {
 	}
 	u.lastAbortCost = AbortBaseCost + AbortPerLine*uint64(u.writeCount)
 	read, write := u.setSizes()
+	u.lastRead, u.lastWrite = read, write
 	u.sys.met.readAbort.Observe(u.c.ID(), read)
 	u.sys.met.writeAbort.Observe(u.c.ID(), write)
 	u.reset()
@@ -325,13 +356,13 @@ func (u *Unit) trackRead(line mem.Addr) {
 	if u.sys.variant.L1ReadSet {
 		if !u.sys.m.Hier.SetSpecRead(u.c.ID(), line, true) {
 			u.sys.maybeRelease(line, p)
-			u.c.RaiseAbort(sim.AbortCapacity, 0)
+			u.c.RaiseAbortAt(sim.AbortCapacity, 0, line)
 		}
 		u.readSet[line] = struct{}{}
 	} else {
 		if len(u.llb) == cap(u.llb) {
 			u.sys.maybeRelease(line, p)
-			u.c.RaiseAbort(sim.AbortCapacity, 0)
+			u.c.RaiseAbortAt(sim.AbortCapacity, 0, line)
 		}
 		u.llb = append(u.llb, llbEntry{line: line})
 		u.sys.met.llbHigh.High(u.c.ID(), uint64(len(u.llb)))
@@ -366,7 +397,7 @@ func (u *Unit) trackWrite(line mem.Addr) {
 		if u.writeCount >= u.sys.variant.LLBEntries ||
 			(!u.sys.variant.L1ReadSet && len(u.llb) == cap(u.llb)) {
 			u.sys.maybeRelease(line, p)
-			u.c.RaiseAbort(sim.AbortCapacity, 0)
+			u.c.RaiseAbortAt(sim.AbortCapacity, 0, line)
 		}
 		u.llb = append(u.llb, llbEntry{line: line})
 		u.sys.met.llbHigh.High(u.c.ID(), uint64(len(u.llb)))
@@ -395,7 +426,7 @@ func (u *Unit) trackWrite(line mem.Addr) {
 func (u *Unit) trackWriteCache(line mem.Addr, p *protState, bit uint32) {
 	if !u.sys.m.Hier.SetSpecRead(u.c.ID(), line, true) {
 		u.sys.maybeRelease(line, p)
-		u.c.RaiseAbort(sim.AbortCapacity, 0)
+		u.c.RaiseAbortAt(sim.AbortCapacity, 0, line)
 	}
 	var backup [mem.WordsPerLine]mem.Word
 	u.sys.m.Mem.LoadLine(line, &backup)

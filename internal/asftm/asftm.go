@@ -71,12 +71,26 @@ type Runtime struct {
 	depth []int  // per-core flat-nesting depth of Atomic calls
 
 	hook tm.CommitHook
+	prof tm.TxProfiler
 
 	met rtMetrics
 }
 
 // SetCommitHook implements tm.HookableRuntime.
 func (r *Runtime) SetCommitHook(h tm.CommitHook) { r.hook = h }
+
+// SetProfiler implements tm.ProfilableRuntime.
+func (r *Runtime) SetProfiler(p tm.TxProfiler) { r.prof = p }
+
+// record feeds the flight recorder. The nil check is the entire disabled-
+// path cost; recording itself charges no simulated cycles (the paper's
+// no-interference tracing methodology).
+func (r *Runtime) record(c *sim.CPU, ev tm.TxEvent) {
+	if r.prof != nil {
+		ev.Time = c.Now()
+		r.prof.Record(c.ID(), ev)
+	}
+}
 
 // notifyCommit reports a commit to the hook under the global turn, so hook
 // invocations across cores are totally ordered (and the hook needs no
@@ -172,6 +186,10 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 		c.SetCategory(sim.CatTxStartCommit)
 		snap := c.Counters()
 		c.Trace(sim.TraceTxBegin, 0)
+		attemptStart := c.Now()
+		if attempts == 0 {
+			r.record(c, tm.TxEvent{Kind: tm.TxEvBegin, Path: tm.PathHW, Aborter: sim.NoCore, Addr: sim.NoAddr})
+		}
 		c.Exec(r.cfg.BeginInstr)
 
 		reason, code := u.Region(func() {
@@ -193,6 +211,12 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 			r.met.hwAttempts.Observe(id, uint64(attempts+1))
 			r.notifyCommit(c, false)
 			c.Trace(sim.TraceTxCommit, 0)
+			if r.prof != nil {
+				read, write := u.LastSetSizes()
+				r.record(c, tm.TxEvent{Kind: tm.TxEvCommit, Path: tm.PathHW,
+					Aborter: sim.NoCore, Addr: sim.NoAddr,
+					Reads: uint32(read), Writes: uint32(write), Cycles: c.Now() - attemptStart})
+			}
 			c.SetCategory(sim.CatNonInstr)
 			return
 		}
@@ -201,6 +225,13 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 		// abort/restart bucket, like the paper's trace annotation.
 		c.MoveToAbort(snap)
 		c.Trace(sim.TraceTxAbort, uint64(reason))
+		if r.prof != nil {
+			by, addr := u.LastAbortEdge()
+			read, write := u.LastSetSizes()
+			r.record(c, tm.TxEvent{Kind: tm.TxEvAbort, Path: tm.PathHW,
+				Cause: reason, Code: code, Aborter: by, Addr: addr,
+				Reads: uint32(read), Writes: uint32(write), Cycles: c.Now() - attemptStart})
+		}
 		c.SetCategory(sim.CatAbort)
 		attempts++
 
@@ -235,6 +266,9 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 
 		if serial || attempts >= r.cfg.MaxHWAttempts {
 			r.met.hwAttempts.Observe(id, uint64(attempts))
+			c.Trace(sim.TraceTxFallback, uint64(tm.PathSerial))
+			r.record(c, tm.TxEvent{Kind: tm.TxEvFallback, Path: tm.PathSerial,
+				Aborter: sim.NoCore, Addr: sim.NoAddr})
 			r.runSerial(c, t, body)
 			return
 		}
@@ -266,6 +300,7 @@ func (r *Runtime) waitSerialFree(c *sim.CPU) {
 func (r *Runtime) runSerial(c *sim.CPU, t *hwTx, body func(tx tm.Tx)) {
 	c.SetCategory(sim.CatTxStartCommit)
 	c.Trace(sim.TraceTxBegin, 0)
+	attemptStart := c.Now()
 	for {
 		if _, ok := c.CAS(r.serialLock, 0, 1); ok {
 			break
@@ -286,6 +321,8 @@ func (r *Runtime) runSerial(c *sim.CPU, t *hwTx, body func(tx tm.Tx)) {
 	st.Commits++
 	st.Serial++
 	c.Trace(sim.TraceTxCommit, 0)
+	r.record(c, tm.TxEvent{Kind: tm.TxEvCommit, Path: tm.PathSerial,
+		Aborter: sim.NoCore, Addr: sim.NoAddr, Cycles: c.Now() - attemptStart})
 	c.SetCategory(sim.CatNonInstr)
 }
 

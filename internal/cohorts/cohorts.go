@@ -117,6 +117,7 @@ type Runtime struct {
 	depth []int // per-core flat-nesting depth of Atomic calls
 
 	hook tm.CommitHook
+	prof tm.TxProfiler
 
 	// turboInCohort counts turbo entries in the current cohort and
 	// turboViolations records cohorts that saw more than one — the
@@ -166,6 +167,17 @@ func (r *Runtime) SetMetrics(reg *metrics.Registry) {
 
 // SetCommitHook implements tm.HookableRuntime.
 func (r *Runtime) SetCommitHook(h tm.CommitHook) { r.hook = h }
+
+// SetProfiler implements tm.ProfilableRuntime.
+func (r *Runtime) SetProfiler(p tm.TxProfiler) { r.prof = p }
+
+// record feeds the flight recorder (nil check = the disabled-path cost).
+func (r *Runtime) record(c *sim.CPU, ev tm.TxEvent) {
+	if r.prof != nil {
+		ev.Time = c.Now()
+		r.prof.Record(c.ID(), ev)
+	}
+}
 
 // notifyCommit reports a commit to the hook under the global turn (see
 // tm.CommitHook).
@@ -271,6 +283,11 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 		c.SetCategory(sim.CatTxStartCommit)
 		snap := c.Counters()
 		c.Trace(sim.TraceTxBegin, 0)
+		attemptStart := c.Now()
+		if attempts == 1 {
+			r.record(c, tm.TxEvent{Kind: tm.TxEvBegin, Path: tm.PathSW,
+				Aborter: sim.NoCore, Addr: sim.NoAddr})
+		}
 		t.begin()
 
 		committed := func() (committed bool) {
@@ -295,6 +312,13 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 		if committed {
 			st.Commits++
 			r.met.attempts.Observe(id, uint64(attempts))
+			path := tm.PathSW
+			if t.mode == modeTurbo {
+				path = tm.PathTurbo
+			}
+			r.record(c, tm.TxEvent{Kind: tm.TxEvCommit, Path: path,
+				Aborter: sim.NoCore, Addr: sim.NoAddr,
+				Reads: uint32(len(t.reads)), Writes: uint32(len(t.writes)), Cycles: c.Now() - attemptStart})
 			t.reset()
 			c.Trace(sim.TraceTxCommit, 0)
 			c.SetCategory(sim.CatNonInstr)
@@ -310,9 +334,15 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 		t.forceSolo = false
 		if !force {
 			st.STMAborts++
+			r.record(c, tm.TxEvent{Kind: tm.TxEvAbort, Path: tm.PathSW,
+				STM: true, Aborter: t.lastBy, Addr: t.lastAddr,
+				Reads: uint32(len(t.reads)), Writes: uint32(len(t.writes)), Cycles: c.Now() - attemptStart})
 		}
 		t.reset()
 		if force || attempts >= r.cfg.MaxAttempts {
+			c.Trace(sim.TraceTxFallback, uint64(tm.PathSerial))
+			r.record(c, tm.TxEvent{Kind: tm.TxEvFallback, Path: tm.PathSerial,
+				Aborter: sim.NoCore, Addr: sim.NoAddr})
 			r.runSolo(c, t, body)
 			return
 		}
@@ -327,6 +357,7 @@ func (r *Runtime) runSolo(c *sim.CPU, t *coTx, body func(tx tm.Tx)) {
 	st := &r.stats[id]
 	c.SetCategory(sim.CatTxStartCommit)
 	c.Trace(sim.TraceTxBegin, 0)
+	attemptStart := c.Now()
 	// Latch the solo word (queue behind any other solo transaction).
 	for {
 		if _, ok := c.CAS(r.solo, 0, mem.Word(id+1)); ok {
@@ -356,6 +387,8 @@ func (r *Runtime) runSolo(c *sim.CPU, t *coTx, body func(tx tm.Tx)) {
 	st.Commits++
 	st.Serial++
 	c.Trace(sim.TraceTxCommit, 0)
+	r.record(c, tm.TxEvent{Kind: tm.TxEvCommit, Path: tm.PathSerial,
+		Aborter: sim.NoCore, Addr: sim.NoAddr, Cycles: c.Now() - attemptStart})
 	c.SetCategory(sim.CatNonInstr)
 }
 
@@ -392,9 +425,21 @@ type coTx struct {
 	// readLog/writeLog are the simulated-memory backing of the logs, so
 	// each append charges a real store (the logs stay cache-hot).
 	readLog, writeLog mem.Addr
+
+	// lastBy/lastAddr stash the abort edge for the flight recorder before
+	// the software longjmp unwinds (value validation cannot identify the
+	// aborter, so lastBy stays sim.NoCore).
+	lastBy   int
+	lastAddr mem.Addr
 }
 
 func (t *coTx) abort() {
+	t.abortAt(sim.NoAddr)
+}
+
+// abortAt records the conflicting address, then unwinds.
+func (t *coTx) abortAt(a mem.Addr) {
+	t.lastBy, t.lastAddr = sim.NoCore, a
 	panic(coConflict{core: t.c.ID()})
 }
 
@@ -450,6 +495,7 @@ func (t *coTx) maybeTurbo() {
 	if _, ok := c.CAS(r.turbo, 0, mem.Word(c.ID()+1)); !ok {
 		return
 	}
+	c.Trace(sim.TraceTurbo, uint64(s))
 	c.SpecOp(0, func() {
 		r.turboInCohort++
 		if r.turboInCohort > 1 {
@@ -483,7 +529,7 @@ func (t *coTx) commit() {
 		// phase — and finish without taking an order turn. (A turbo seal
 		// is never the cohort's first: turbo requires an existing seal.)
 		r.notifyCommit(c, false)
-		c.FetchAdd(r.sealed, 1)
+		c.Trace(sim.TraceCohortSeal, uint64(c.FetchAdd(r.sealed, 1)))
 		r.met.turboCommits.Inc(id)
 		t.finishMember(false)
 		return
@@ -505,6 +551,7 @@ func (t *coTx) commit() {
 	// the event the tm/cohort_seals gauge and the abort table's seal
 	// column count.
 	myOrder := uint64(c.FetchAdd(r.sealed, 1))
+	c.Trace(sim.TraceCohortSeal, myOrder)
 	if myOrder == 0 {
 		st.Seals++
 	}
@@ -544,7 +591,7 @@ func (t *coTx) commit() {
 			if c.Load(e.addr) != e.val {
 				r.met.validationAborts.Inc(id)
 				t.finishMember(true)
-				t.abort()
+				t.abortAt(e.addr)
 			}
 		}
 	}

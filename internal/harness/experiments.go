@@ -20,11 +20,17 @@ var (
 // report record.
 func recordStamp(rec *CellRecord, r stamp.Result) {
 	rec.Observe(r.Cycles, r.Stats, r.Metrics)
+	rec.ObserveBreakdown(r.Breakdown)
+	rec.ObserveSwitches(r.Switches)
+	rec.ObserveProfile(r.Profile)
 	rec.ObserveTrace(r.TraceEvents, r.TraceStart)
 }
 
 func recordIntset(rec *CellRecord, r intset.Result) {
 	rec.Observe(r.Cycles, r.Stats, r.Metrics)
+	rec.ObserveBreakdown(r.Breakdown)
+	rec.ObserveSwitches(r.Switches)
+	rec.ObserveProfile(r.Profile)
 	rec.ObserveTrace(r.TraceEvents, r.TraceStart)
 }
 
@@ -53,7 +59,7 @@ func Fig3(o Options) ([]*Table, error) {
 			if native {
 				dst, kind = &nats[i], "native"
 			}
-			cfg := stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale, Native: native, Trace: o.Trace}
+			cfg := stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale, Native: native, Trace: o.Trace, Profile: o.Profile}
 			cells = append(cells, cell{
 				label: fmt.Sprintf("fig3 %-14s %s", app, kind),
 				run: func(rec *CellRecord) (string, error) {
@@ -99,7 +105,7 @@ func Fig4(o Options) ([]*Table, error) {
 		for ri, rt := range rts {
 			for ti, th := range threadCounts {
 				dst := &ms[(ai*nR+ri)*nT+ti]
-				cfg := stamp.Config{App: app, Runtime: rt, Threads: th, Scale: scale, Trace: o.Trace}
+				cfg := stamp.Config{App: app, Runtime: rt, Threads: th, Scale: scale, Trace: o.Trace, Profile: o.Profile}
 				cells = append(cells, cell{
 					label: fmt.Sprintf("fig4 %-14s %-14s t=%d", app, rt, th),
 					run: func(rec *CellRecord) (string, error) {
@@ -115,7 +121,7 @@ func Fig4(o Options) ([]*Table, error) {
 			}
 		}
 		dst := &seq[ai]
-		cfg := stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale, Trace: o.Trace}
+		cfg := stamp.Config{App: app, Runtime: "Sequential", Threads: 1, Scale: scale, Trace: o.Trace, Profile: o.Profile}
 		cells = append(cells, cell{
 			label: fmt.Sprintf("fig4 %-14s Sequential     t=1", app),
 			run: func(rec *CellRecord) (string, error) {
@@ -179,6 +185,7 @@ func Fig5(o Options) ([]*Table, error) {
 				cfg.Threads = th
 				cfg.OpsPerThread = ops
 				cfg.Trace = o.Trace
+				cfg.Profile = o.Profile
 				cells = append(cells, cell{
 					label: fmt.Sprintf("fig5 %-10s r=%-6d %-14s t=%d", panel.Structure, panel.Range, rt, th),
 					run: func(rec *CellRecord) (string, error) {
@@ -233,7 +240,7 @@ func Fig6(o Options) ([]*Table, error) {
 		for ri, rt := range rts {
 			for ti, th := range threadCounts {
 				dst := &rows[(ai*nR+ri)*nT+ti]
-				cfg := stamp.Config{App: app, Runtime: rt, Threads: th, Scale: scale, Trace: o.Trace}
+				cfg := stamp.Config{App: app, Runtime: rt, Threads: th, Scale: scale, Trace: o.Trace, Profile: o.Profile}
 				cells = append(cells, cell{
 					label: fmt.Sprintf("fig6 %-14s %-14s t=%d", app, rt, th),
 					run: func(rec *CellRecord) (string, error) {
@@ -315,7 +322,7 @@ func Fig7(o Options) ([]*Table, error) {
 				cfg := intset.Config{
 					Structure: se.structure, Runtime: rt, Threads: 8,
 					Range: uint64(2 * sz), UpdatePct: 20, InitialSize: sz,
-					OpsPerThread: ops, Trace: o.Trace,
+					OpsPerThread: ops, Trace: o.Trace, Profile: o.Profile,
 				}
 				cells = append(cells, cell{
 					label: fmt.Sprintf("fig7 %-10s %-14s size=%-4d", se.structure, rt, sz),
@@ -369,7 +376,7 @@ func Fig8(o Options) ([]*Table, error) {
 				cfg := intset.Config{
 					Structure: "linkedlist", Runtime: llb, Threads: 8,
 					Range: uint64(2 * sz), UpdatePct: 20, InitialSize: sz,
-					OpsPerThread: ops, EarlyRelease: er, Trace: o.Trace,
+					OpsPerThread: ops, EarlyRelease: er, Trace: o.Trace, Profile: o.Profile,
 				}
 				cells = append(cells, cell{
 					label: fmt.Sprintf("fig8 %-8s er=%-5v size=%-4d", llb, er, sz),
@@ -437,6 +444,7 @@ func Table1(o Options) ([]*Table, error) {
 			c.Threads = 1
 			c.OpsPerThread = ops
 			c.Trace = o.Trace
+			c.Profile = o.Profile
 			cells = append(cells, cell{
 				label: fmt.Sprintf("table1 %-10s %-8s", cfg.Structure, rt),
 				run: func(rec *CellRecord) (string, error) {

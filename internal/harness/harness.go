@@ -87,7 +87,7 @@ func progf(w Progress, format string, args ...any) {
 
 // Experiment names accepted by Run, in paper order; the extension
 // experiments (E11+) follow the paper's figures.
-var Names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "hybrid", "litmus", "adaptive"}
+var Names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "hybrid", "litmus", "adaptive", "txprof"}
 
 // Descriptions maps each experiment in Names to the one-line summary
 // cmd/asfbench -list prints.
@@ -102,6 +102,7 @@ var Descriptions = map[string]string{
 	"hybrid": "E11: capacity-bound cells, serial-fallback ASF-TM vs the hybrid (HyTM) runtime",
 	"litmus":   "E12: cross-runtime litmus conformance — deterministic schedule explorer vs oracle envelopes",
 	"adaptive": "E13: static-vs-adaptive runtime selection — four statics vs the online selector, with its decision log",
+	"txprof":   "E14: wasted-work accounting — flight-recorder profiles for every runtime on the Fig. 5 cells",
 }
 
 // Run executes one named experiment and returns its tables in figure
@@ -144,6 +145,8 @@ func runExperiment(name string, o Options) ([]*Table, error) {
 		return Litmus(o)
 	case "adaptive":
 		return Adaptive(o)
+	case "txprof":
+		return Txprof(o)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (want one of %v)", name, Names)
 	}

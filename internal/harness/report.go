@@ -3,9 +3,11 @@ package harness
 import (
 	"fmt"
 
+	"asfstack/internal/adaptive"
 	"asfstack/internal/metrics"
 	"asfstack/internal/sim"
 	"asfstack/internal/tm"
+	"asfstack/internal/txprof"
 )
 
 // The BenchReport JSON schema. Versioning contract: additions of new fields
@@ -74,6 +76,21 @@ type CellSim struct {
 	Stats tm.Stats `json:"stats"`
 	// Metrics is the cell's full registry snapshot.
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
+
+	// Wasted-work accounting from the per-category cycle breakdown:
+	// WastedCycles is time burned in aborted transaction attempts
+	// (sim.CatAbort) summed over cores, BusyCycles the all-category total,
+	// WastedPct = 100*wasted/busy. Additive fields — no version bump.
+	WastedCycles uint64  `json:"wasted_cycles"`
+	BusyCycles   uint64  `json:"busy_cycles"`
+	WastedPct    float64 `json:"wasted_pct"`
+
+	// Switches is the adaptive selector's per-window decision log when the
+	// cell ran an Adaptive runtime (E13's machine-readable form).
+	Switches []adaptive.Switch `json:"switches,omitempty"`
+	// Profile is the transaction-level flight recorder snapshot when the
+	// cell recorded one (cmd/tmprof reads this).
+	Profile *txprof.Profile `json:"txprof,omitempty"`
 }
 
 // CellHost is the host-side (non-deterministic) section of a cell report.
@@ -100,6 +117,41 @@ func (rec *CellRecord) Observe(cycles uint64, stats tm.Stats, m *metrics.Snapsho
 		return
 	}
 	rec.sim = &CellSim{Cycles: cycles, Stats: stats, Metrics: m}
+}
+
+// ObserveBreakdown folds the cell's per-category cycle breakdown into the
+// wasted-work fields. Call after Observe.
+func (rec *CellRecord) ObserveBreakdown(b sim.Breakdown) {
+	if rec == nil || rec.sim == nil {
+		return
+	}
+	var busy uint64
+	for _, v := range b {
+		busy += v
+	}
+	rec.sim.WastedCycles = b[sim.CatAbort]
+	rec.sim.BusyCycles = busy
+	if busy > 0 {
+		rec.sim.WastedPct = 100 * float64(b[sim.CatAbort]) / float64(busy)
+	}
+}
+
+// ObserveSwitches attaches the adaptive selector's decision log (no-op on
+// empty logs). Call after Observe.
+func (rec *CellRecord) ObserveSwitches(sw []adaptive.Switch) {
+	if rec == nil || rec.sim == nil || len(sw) == 0 {
+		return
+	}
+	rec.sim.Switches = sw
+}
+
+// ObserveProfile attaches the cell's flight-recorder snapshot (no-op on
+// nil). Call after Observe.
+func (rec *CellRecord) ObserveProfile(p *txprof.Profile) {
+	if rec == nil || rec.sim == nil || p == nil {
+		return
+	}
+	rec.sim.Profile = p
 }
 
 // ObserveTrace attaches the cell's sim trace (no-op on empty events).
@@ -141,13 +193,14 @@ func abortTable(name string, cells []*CellReport) *Table {
 	for r := 1; r < sim.NumAbortReasons; r++ { // skip AbortNone
 		header = append(header, sim.AbortReason(r).String())
 	}
-	header = append(header, "malloc", "stm", "seq")
+	header = append(header, "malloc", "stm", "seq", "wasted-cyc", "wasted%")
 	t := &Table{
 		Title:  fmt.Sprintf("%s — abort attribution (counts; one row per configuration)", name),
 		Header: header,
 		Note: "explicit includes malloc-refill aborts; stm counts software validation aborts; " +
 			"sw = concurrent software-fallback commits, seq = seqlock-induced hardware aborts (hybrid runtime), " +
-			"seal = cohort commit batches (cohorts runtime)",
+			"seal = cohort commit batches (cohorts runtime); " +
+			"wasted-cyc/wasted% = cycles burned in aborted attempts and their share of all busy cycles",
 	}
 	for _, c := range cells {
 		if c.Sim == nil {
@@ -163,7 +216,8 @@ func abortTable(name string, cells []*CellReport) *Table {
 		for r := 1; r < sim.NumAbortReasons; r++ {
 			row = append(row, st.Aborts[r])
 		}
-		row = append(row, st.MallocAborts, st.STMAborts, st.SeqAborts)
+		row = append(row, st.MallocAborts, st.STMAborts, st.SeqAborts,
+			c.Sim.WastedCycles, fmt.Sprintf("%.1f", c.Sim.WastedPct))
 		t.Add(row...)
 	}
 	return t

@@ -198,6 +198,25 @@ func TestHybridReportSimDeterminism(t *testing.T) {
 	}
 }
 
+// TestTxprofReportSimDeterminism: E14 embeds full flight-recorder profiles
+// in every cell's sim section, so this byte-identity guard covers the
+// recorder end to end — per-core rings, wasted-work aggregates, contended-
+// line leaderboards and causality edges — at any worker count. cmd/tmprof
+// output is a pure function of these sections, so its determinism follows.
+func TestTxprofReportSimDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	seq := reportSimJSON(t, "txprof", 0.03, 1)
+	par := reportSimJSON(t, "txprof", 0.03, 8)
+	if seq != par {
+		t.Fatalf("txprof sim sections differ between parallel=1 and parallel=8:\n--- 1 ---\n%.2000s\n--- 8 ---\n%.2000s", seq, par)
+	}
+	if !strings.Contains(seq, `"schema": "asfstack/txprof"`) {
+		t.Fatal("txprof cells carry no embedded profile")
+	}
+}
+
 // TestAbortTableGolden pins the abort-attribution table's exact column
 // order and rendering — the one report surface with no golden before the
 // hybrid columns (sw, seq) were added. Reordering, renaming, or dropping a
@@ -215,19 +234,21 @@ func TestAbortTableGolden(t *testing.T) {
 	st.STMAborts = 9
 	st.SeqAborts = 4
 	cells := []*CellReport{
-		{Label: "hybrid demo t=8", Sim: &CellSim{Cycles: 1, Stats: st}},
+		{Label: "hybrid demo t=8", Sim: &CellSim{Cycles: 1, Stats: st,
+			WastedCycles: 1234, BusyCycles: 10000, WastedPct: 12.34}},
 		{Label: "failed cell"}, // no sim section: every column reads ERR
 	}
 	var b strings.Builder
 	abortTable("hybrid", cells).Fprint(&b)
 	want := "\n== hybrid — abort attribution (counts; one row per configuration) ==\n" +
-		"cell             commits  serial  sw   seal  contention  capacity  page-fault  interrupt  syscall  explicit  disallowed  nesting  malloc  stm  seq\n" +
-		"---------------  -------  ------  ---  ----  ----------  --------  ----------  ---------  -------  --------  ----------  -------  ------  ---  ---\n" +
-		"hybrid demo t=8  100      3       40   12    7           5         0           0          0        2         0           0        2       9    4\n" +
-		"failed cell      ERR      ERR     ERR  ERR   ERR         ERR       ERR         ERR        ERR      ERR       ERR         ERR      ERR     ERR  ERR\n" +
+		"cell             commits  serial  sw   seal  contention  capacity  page-fault  interrupt  syscall  explicit  disallowed  nesting  malloc  stm  seq  wasted-cyc  wasted%\n" +
+		"---------------  -------  ------  ---  ----  ----------  --------  ----------  ---------  -------  --------  ----------  -------  ------  ---  ---  ----------  -------\n" +
+		"hybrid demo t=8  100      3       40   12    7           5         0           0          0        2         0           0        2       9    4    1234        12.3\n" +
+		"failed cell      ERR      ERR     ERR  ERR   ERR         ERR       ERR         ERR        ERR      ERR       ERR         ERR      ERR     ERR  ERR  ERR         ERR\n" +
 		"note: explicit includes malloc-refill aborts; stm counts software validation aborts; " +
 		"sw = concurrent software-fallback commits, seq = seqlock-induced hardware aborts (hybrid runtime), " +
-		"seal = cohort commit batches (cohorts runtime)\n"
+		"seal = cohort commit batches (cohorts runtime); " +
+		"wasted-cyc/wasted% = cycles burned in aborted attempts and their share of all busy cycles\n"
 	if got := b.String(); got != want {
 		t.Fatalf("abort table rendering changed:\n--- got ---\n%q\n--- want ---\n%q", got, want)
 	}

@@ -26,6 +26,10 @@ type Options struct {
 	// asfbench -trace export). Off by default: event volume is
 	// proportional to simulated work.
 	Trace bool
+	// Profile enables the transaction-level flight recorder in every cell
+	// (the asfbench -profile flag); the txprof experiment records
+	// unconditionally. Off by default.
+	Profile bool
 
 	// sink, when non-nil, receives every cell's report in cell order
 	// (RunReport installs it).

@@ -123,12 +123,24 @@ type Runtime struct {
 	depth []int // per-core flat-nesting depth of Atomic calls
 
 	hook tm.CommitHook
+	prof tm.TxProfiler
 
 	met rtMetrics
 }
 
 // SetCommitHook implements tm.HookableRuntime.
 func (r *Runtime) SetCommitHook(h tm.CommitHook) { r.hook = h }
+
+// SetProfiler implements tm.ProfilableRuntime.
+func (r *Runtime) SetProfiler(p tm.TxProfiler) { r.prof = p }
+
+// record feeds the flight recorder (nil check = the disabled-path cost).
+func (r *Runtime) record(c *sim.CPU, ev tm.TxEvent) {
+	if r.prof != nil {
+		ev.Time = c.Now()
+		r.prof.Record(c.ID(), ev)
+	}
+}
 
 // notifyCommit reports a commit to the hook under the global turn (see
 // tm.CommitHook).
@@ -257,6 +269,8 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 	t.c, t.u, t.mode, t.wrote = c, u, modeHW, false
 
 	if r.cfg.ForceSW {
+		r.record(c, tm.TxEvent{Kind: tm.TxEvBegin, Path: tm.PathSW,
+			Aborter: sim.NoCore, Addr: sim.NoAddr})
 		r.runSW(c, t, body)
 		return
 	}
@@ -266,6 +280,11 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 		c.SetCategory(sim.CatTxStartCommit)
 		snap := c.Counters()
 		c.Trace(sim.TraceTxBegin, 0)
+		attemptStart := c.Now()
+		if attempts == 0 {
+			r.record(c, tm.TxEvent{Kind: tm.TxEvBegin, Path: tm.PathHW,
+				Aborter: sim.NoCore, Addr: sim.NoAddr})
+		}
 		c.Exec(r.cfg.BeginInstr)
 
 		reason, code := u.Region(func() {
@@ -300,12 +319,25 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 			r.met.hwAttempts.Observe(id, uint64(attempts+1))
 			r.notifyCommit(c, false)
 			c.Trace(sim.TraceTxCommit, 0)
+			if r.prof != nil {
+				read, write := u.LastSetSizes()
+				r.record(c, tm.TxEvent{Kind: tm.TxEvCommit, Path: tm.PathHW,
+					Aborter: sim.NoCore, Addr: sim.NoAddr,
+					Reads: uint32(read), Writes: uint32(write), Cycles: c.Now() - attemptStart})
+			}
 			c.SetCategory(sim.CatNonInstr)
 			return
 		}
 
 		c.MoveToAbort(snap)
 		c.Trace(sim.TraceTxAbort, uint64(reason))
+		if r.prof != nil {
+			by, addr := u.LastAbortEdge()
+			read, write := u.LastSetSizes()
+			r.record(c, tm.TxEvent{Kind: tm.TxEvAbort, Path: tm.PathHW,
+				Cause: reason, Code: code, Aborter: by, Addr: addr,
+				Reads: uint32(read), Writes: uint32(write), Cycles: c.Now() - attemptStart})
+		}
 		c.SetCategory(sim.CatAbort)
 		attempts++
 		t.wrote = false
@@ -330,6 +362,9 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 			case tm.CodeSerialRequest:
 				st.Aborts[sim.AbortExplicit]++
 				r.met.hwAttempts.Observe(id, uint64(attempts))
+				c.Trace(sim.TraceTxFallback, uint64(tm.PathSerial))
+				r.record(c, tm.TxEvent{Kind: tm.TxEvFallback, Path: tm.PathSerial,
+					Aborter: sim.NoCore, Addr: sim.NoAddr})
 				r.runSerial(c, t, body)
 				return
 			default:
@@ -345,6 +380,9 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 
 		if fallback || attempts >= r.cfg.MaxHWAttempts {
 			r.met.hwAttempts.Observe(id, uint64(attempts))
+			c.Trace(sim.TraceTxFallback, uint64(tm.PathSW))
+			r.record(c, tm.TxEvent{Kind: tm.TxEvFallback, Path: tm.PathSW,
+				Aborter: sim.NoCore, Addr: sim.NoAddr})
 			r.runSW(c, t, body)
 			return
 		}
@@ -389,6 +427,7 @@ func (r *Runtime) runSW(c *sim.CPU, t *hyTx, body func(tx tm.Tx)) {
 		c.SetCategory(sim.CatTxStartCommit)
 		snap := c.Counters()
 		c.Trace(sim.TraceTxBegin, 0)
+		attemptStart := c.Now()
 		t.swBegin()
 
 		committed := func() (committed bool) {
@@ -417,6 +456,9 @@ func (r *Runtime) runSW(c *sim.CPU, t *hyTx, body func(tx tm.Tx)) {
 			r.met.swCommits.Inc(id)
 			r.met.swAttempts.Observe(id, uint64(retries+1))
 			r.met.swCycles.Add(id, c.Now()-entry)
+			r.record(c, tm.TxEvent{Kind: tm.TxEvCommit, Path: tm.PathSW,
+				Aborter: sim.NoCore, Addr: sim.NoAddr,
+				Reads: uint32(len(t.reads)), Writes: uint32(len(t.writes)), Cycles: c.Now() - attemptStart})
 			t.swReset()
 			c.Trace(sim.TraceTxCommit, 0)
 			c.SetCategory(sim.CatNonInstr)
@@ -427,6 +469,9 @@ func (r *Runtime) runSW(c *sim.CPU, t *hyTx, body func(tx tm.Tx)) {
 		// published, so there is no undo.
 		c.MoveToAbort(snap)
 		c.Trace(sim.TraceTxAbort, 0)
+		r.record(c, tm.TxEvent{Kind: tm.TxEvAbort, Path: tm.PathSW,
+			STM: true, Aborter: t.lastBy, Addr: t.lastAddr,
+			Reads: uint32(len(t.reads)), Writes: uint32(len(t.writes)), Cycles: c.Now() - attemptStart})
 		c.SetCategory(sim.CatAbort)
 		st.STMAborts++
 		retries++
@@ -436,6 +481,9 @@ func (r *Runtime) runSW(c *sim.CPU, t *hyTx, body func(tx tm.Tx)) {
 		if force || retries >= r.cfg.MaxSWAttempts {
 			r.met.swAttempts.Observe(id, uint64(retries))
 			r.met.swCycles.Add(id, c.Now()-entry)
+			c.Trace(sim.TraceTxFallback, uint64(tm.PathSerial))
+			r.record(c, tm.TxEvent{Kind: tm.TxEvFallback, Path: tm.PathSerial,
+				Aborter: sim.NoCore, Addr: sim.NoAddr})
 			r.runSerial(c, t, body)
 			return
 		}
@@ -453,6 +501,7 @@ func (r *Runtime) runSerial(c *sim.CPU, t *hyTx, body func(tx tm.Tx)) {
 	st := &r.stats[id]
 	c.SetCategory(sim.CatTxStartCommit)
 	c.Trace(sim.TraceTxBegin, 0)
+	attemptStart := c.Now()
 	var seq mem.Word
 	for {
 		s := c.Load(r.swSeq)
@@ -482,6 +531,8 @@ func (r *Runtime) runSerial(c *sim.CPU, t *hyTx, body func(tx tm.Tx)) {
 	st.Commits++
 	st.Serial++
 	c.Trace(sim.TraceTxCommit, 0)
+	r.record(c, tm.TxEvent{Kind: tm.TxEvCommit, Path: tm.PathSerial,
+		Aborter: sim.NoCore, Addr: sim.NoAddr, Cycles: c.Now() - attemptStart})
 	c.SetCategory(sim.CatNonInstr)
 }
 
@@ -523,9 +574,21 @@ type hyTx struct {
 	// readLog/writeLog are the simulated-memory backing of the logs, so
 	// each append charges a real store (the logs stay cache-hot).
 	readLog, writeLog mem.Addr
+
+	// lastBy/lastAddr stash the abort edge for the flight recorder before
+	// the software longjmp unwinds (NOrec value validation cannot identify
+	// the aborter, so lastBy stays sim.NoCore).
+	lastBy   int
+	lastAddr mem.Addr
 }
 
 func (t *hyTx) swAbort() {
+	t.swAbortAt(sim.NoAddr)
+}
+
+// swAbortAt records the conflicting address, then unwinds.
+func (t *hyTx) swAbortAt(a mem.Addr) {
+	t.lastBy, t.lastAddr = sim.NoCore, a
 	panic(hyConflict{core: t.c.ID()})
 }
 
@@ -561,7 +624,7 @@ func (t *hyTx) swRevalidate() {
 			e := &t.reads[i]
 			c.Exec(t.r.cfg.SWValidateInstrPerEntry)
 			if c.Load(e.addr) != e.val {
-				t.swAbort()
+				t.swAbortAt(e.addr)
 			}
 		}
 		if c.Load(t.r.swSeq) == s {
@@ -655,7 +718,7 @@ func (t *hyTx) swCommit() {
 			c.Exec(r.cfg.SWValidateInstrPerEntry)
 			if c.Load(e.addr) != e.val {
 				c.Store(r.swSeq, t.swSnap+2) // release before unwinding
-				t.swAbort()
+				t.swAbortAt(e.addr)
 			}
 		}
 	}

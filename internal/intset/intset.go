@@ -18,6 +18,7 @@ import (
 	"asfstack/internal/sim"
 	"asfstack/internal/tm"
 	"asfstack/internal/txlib"
+	"asfstack/internal/txprof"
 )
 
 // Structures lists the four IntegerSet data structures in figure order.
@@ -44,6 +45,9 @@ type Config struct {
 	// Trace records sim trace events for the measured phase (Chrome trace
 	// export). Off by default: event volume is proportional to work.
 	Trace bool
+	// Profile installs the transaction-level flight recorder and harvests
+	// its profile into Result.Profile. Off by default.
+	Profile bool
 }
 
 // Result carries the measurements a run produces.
@@ -64,6 +68,9 @@ type Result struct {
 	// Config.Trace was set; TraceStart is the phase's start cycle.
 	TraceEvents []sim.TraceEvent
 	TraceStart  uint64
+	// Profile is the flight-recorder snapshot when Config.Profile was set
+	// (and the runtime supports profiling); nil otherwise.
+	Profile *txprof.Profile
 }
 
 // Throughput returns transactions per microsecond at the simulated clock
@@ -126,6 +133,7 @@ func Run(cfg Config) (Result, error) {
 		Cores:   cfg.Threads,
 		Runtime: cfg.Runtime,
 		Seed:    cfg.Seed,
+		Profile: cfg.Profile,
 	})
 
 	var set setIface
@@ -190,5 +198,6 @@ func Run(cfg Config) (Result, error) {
 		res.TraceEvents = s.M.TraceEvents()
 		res.TraceStart = start
 	}
+	res.Profile = s.TxProfile()
 	return res, nil
 }

@@ -3,6 +3,8 @@ package litmus
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 
 	asfstack "asfstack"
@@ -134,16 +136,48 @@ type Violation struct {
 	Outcome string
 	Order   string
 	Allowed []string
+	// Dump is the flight-recorder text for the violating iteration: every
+	// core's transaction events (begin/abort/fallback/commit with causes,
+	// causality edges and set sizes) from the per-iteration recorder window.
+	Dump string
 }
 
 func (v Violation) String() string {
-	return fmt.Sprintf(
+	msg := fmt.Sprintf(
 		"litmus %s on %s: outcome %q outside the allowed envelope (commit order %q)\n"+
 			"  replay: seed=%d iter=%d  (litmus.Replay reruns iterations 0..%d of this seed deterministically)\n"+
 			"  allowed: %s",
 		v.Test, v.Runtime, v.Outcome, v.Order,
 		v.Seed, v.Iter, v.Iter,
 		strings.Join(v.Allowed, " | "))
+	if v.Dump != "" {
+		msg += "\n  " + strings.ReplaceAll(strings.TrimRight(v.Dump, "\n"), "\n", "\n  ")
+	}
+	return msg
+}
+
+// SaveDump writes the violation's message and flight-recorder dump into dir
+// and returns the file path. Explore calls it for every violation when the
+// LITMUS_DUMP_DIR environment variable is set — the hook CI uses to upload
+// the dumps as a failure artifact.
+func (v Violation) SaveDump(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	clean := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+				r == '-', r == '_', r == '.', r == '+':
+				return r
+			default:
+				return '-'
+			}
+		}, s)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s-seed%d-iter%d.txt",
+		clean(v.Test), clean(v.Runtime), v.Seed, v.Iter))
+	return path, os.WriteFile(path, []byte(v.String()+"\n"), 0o644)
 }
 
 // Result is one exploration: a test on a runtime under a seed.
@@ -204,11 +238,16 @@ func Explore(t *Test, rc RuntimeConfig, opts ExploreOptions) *Result {
 	cfg.Seed = opts.Seed
 	cfg.SchedNoise = opts.Noise
 
+	// The flight recorder is always on under exploration: Record costs no
+	// simulated cycles, and a violating iteration's dump — reset at each
+	// iteration boundary, so it covers exactly the violating interleaving —
+	// ships with the replay pointer.
 	s := asfstack.New(asfstack.Options{
 		Cores:       n,
 		Runtime:     rc.Stack,
 		HeapPerCore: 1 << 20,
 		Machine:     &cfg,
+		Profile:     true,
 	})
 	if rc.ForceSW {
 		hcfg := hytm.DefaultConfig()
@@ -290,6 +329,9 @@ func Explore(t *Test, rc RuntimeConfig, opts ExploreOptions) *Result {
 			}
 		}
 		order = order[:0]
+		if s.Prof != nil {
+			s.Prof.Reset()
+		}
 		s.M.Run(bodies...)
 
 		vars := make([]uint64, len(addrs))
@@ -304,12 +346,23 @@ func Explore(t *Test, rc RuntimeConfig, opts ExploreOptions) *Result {
 		}
 		res.Outcomes[out]++
 		if !allowed[out] {
-			res.Violations = append(res.Violations, Violation{
+			v := Violation{
 				Test: t.Name, Runtime: rc.Label,
 				Seed: opts.Seed, Iter: iter,
 				Outcome: out, Order: rec.Order,
 				Allowed: res.Allowed,
-			})
+			}
+			if s.Prof != nil {
+				var b strings.Builder
+				s.Prof.Profile().WriteDump(&b)
+				v.Dump = b.String()
+			}
+			if dir := os.Getenv("LITMUS_DUMP_DIR"); dir != "" {
+				if _, err := v.SaveDump(dir); err != nil {
+					fmt.Fprintln(os.Stderr, "litmus: cannot save flight dump:", err)
+				}
+			}
+			res.Violations = append(res.Violations, v)
 			if len(res.Violations) >= opts.MaxViolations {
 				res.Iters = iter + 1
 				break

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"asfstack/internal/mem"
+)
 
 // AbortReason identifies why a speculative region was rolled back. The set
 // mirrors the ASF status codes plus the OS-event causes the paper's abort
@@ -74,13 +78,31 @@ func (r AbortReason) String() string {
 	}
 }
 
+// NoCore marks an unknown aborter core and NoAddr an unknown conflicting
+// address in an AbortError (and in the txprof flight records built from it).
+// Self-inflicted aborts (capacity, explicit, OS events) have no aborter;
+// only contention aborts delivered by another core's probe carry one.
+const NoCore = -1
+
+// NoAddr is the "no conflicting address" sentinel (an impossible line
+// address: lines are aligned, and the address space never reaches the top).
+const NoAddr = ^mem.Addr(0)
+
 // AbortError is the sentinel carried by the panic that unwinds a speculative
 // region back to its SPECULATE point. Only package asf recovers it; any
 // other escape is a stack bug.
+//
+// By and Addr form the causality edge of the abort: the core whose access
+// killed this region (NoCore when self-inflicted or unknown) and the cache
+// line the conflict — or capacity displacement — was on (NoAddr when not
+// applicable). They exist for the flight recorder; correctness never
+// depends on them.
 type AbortError struct {
 	Core   int
 	Reason AbortReason
 	Code   uint64 // software code for AbortExplicit
+	By     int    // aborter core (causality edge), NoCore if unknown
+	Addr   mem.Addr
 }
 
 func (e *AbortError) Error() string {

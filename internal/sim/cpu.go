@@ -48,9 +48,20 @@ type CPU struct {
 	instLeft  int    // sub-issue-width instruction remainder
 	nextTimer uint64
 
-	// Speculation.
+	// Speculation. pendingBy/pendingAddr carry the causality edge of a
+	// posted abort (aborter core and conflicting line) for the flight
+	// recorder; NoCore/NoAddr when unknown.
 	spec         SpecUnit
 	pendingAbort AbortReason
+	pendingBy    int
+	pendingAddr  mem.Addr
+
+	// abortErr is the scratch AbortError reused by every abort panic on
+	// this core. Safe because the recovery handler (asf.Region) copies the
+	// fields out before doing anything that could abort again, and each
+	// core's panics unwind on the goroutine currently running that core.
+	// Reusing it keeps abort delivery allocation-free.
+	abortErr AbortError
 
 	// presentPage is the page of this core's most recent access that was
 	// known present. Presence is monotonic (pages are installed, never
@@ -295,9 +306,10 @@ func (c *CPU) deliverTimers() {
 // and the turn is released at the end of the next operation.
 func (c *CPU) deliverPendingAbort() {
 	if c.pendingAbort != AbortNone {
-		r := c.pendingAbort
+		r, by, addr := c.pendingAbort, c.pendingBy, c.pendingAddr
 		c.pendingAbort = AbortNone
-		panic(&AbortError{Core: c.id, Reason: r})
+		c.pendingBy, c.pendingAddr = NoCore, NoAddr
+		c.abortPanic(r, 0, by, addr)
 	}
 }
 
@@ -309,13 +321,36 @@ func (c *CPU) AbortPending() bool { return c.pendingAbort != AbortNone }
 // PostAbort records an abort to be delivered at the core's next operation.
 // Called by SpecUnit implementations (with the posting core holding the
 // global turn).
-func (c *CPU) PostAbort(r AbortReason) { c.pendingAbort = r }
+func (c *CPU) PostAbort(r AbortReason) { c.PostAbortFrom(r, NoCore, NoAddr) }
+
+// PostAbortFrom is PostAbort carrying the causality edge: by is the core
+// whose access killed this region and addr the conflicting cache line
+// (NoCore/NoAddr when unknown). The edge is observability-only; delivery
+// semantics are identical to PostAbort.
+func (c *CPU) PostAbortFrom(r AbortReason, by int, addr mem.Addr) {
+	c.pendingAbort = r
+	c.pendingBy = by
+	c.pendingAddr = addr
+}
+
+// abortPanic fills the core's scratch AbortError and unwinds with it.
+// All abort panics funnel through here so delivery never allocates.
+func (c *CPU) abortPanic(r AbortReason, code uint64, by int, addr mem.Addr) {
+	c.abortErr = AbortError{Core: c.id, Reason: r, Code: code, By: by, Addr: addr}
+	panic(&c.abortErr)
+}
 
 // RaiseAbort aborts the current core immediately: used for synchronous
 // conditions (capacity overflow, explicit ABORT, colocation exception)
 // detected while executing one of the core's own operations.
 func (c *CPU) RaiseAbort(r AbortReason, code uint64) {
-	panic(&AbortError{Core: c.id, Reason: r, Code: code})
+	c.abortPanic(r, code, NoCore, NoAddr)
+}
+
+// RaiseAbortAt is RaiseAbort carrying the cache line the condition was
+// detected on (capacity displacement victims), for the flight recorder.
+func (c *CPU) RaiseAbortAt(r AbortReason, code uint64, addr mem.Addr) {
+	c.abortPanic(r, code, NoCore, addr)
 }
 
 // Syscall models entering the kernel for cost extra cycles. System calls

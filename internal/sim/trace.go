@@ -23,6 +23,17 @@ const (
 	// TraceTxAbort: the attempt aborted (Arg is the AbortReason); all
 	// cycles since the matching TraceTxBegin are wasted work.
 	TraceTxAbort
+	// TraceTxFallback: the runtime switched execution path for this
+	// transaction (hardware → software, software → serial, hardware →
+	// serial). Arg is the tm.TxPath being entered.
+	TraceTxFallback
+	// TraceCohortSeal: this core sealed its commit cohort (it was the
+	// first member to reach the commit point; Arg is the seal order the
+	// core drew, 0 for the sealer).
+	TraceCohortSeal
+	// TraceTurbo: the last member of a sealed cohort entered turbo mode
+	// (uninstrumented direct execution; Arg is the core's cohort order).
+	TraceTurbo
 )
 
 func (k TraceKind) String() string {
@@ -35,6 +46,12 @@ func (k TraceKind) String() string {
 		return "tx-commit"
 	case TraceTxAbort:
 		return "tx-abort"
+	case TraceTxFallback:
+		return "tx-fallback"
+	case TraceCohortSeal:
+		return "cohort-seal"
+	case TraceTurbo:
+		return "turbo"
 	default:
 		return "trace(?)"
 	}

@@ -14,9 +14,11 @@ import (
 	"fmt"
 
 	"asfstack"
+	"asfstack/internal/adaptive"
 	"asfstack/internal/metrics"
 	"asfstack/internal/sim"
 	"asfstack/internal/tm"
+	"asfstack/internal/txprof"
 )
 
 // Apps lists the benchmark configurations in the paper's figure order.
@@ -57,6 +59,9 @@ type Config struct {
 	// Trace records sim trace events for the measured phase (Chrome trace
 	// export). Off by default: event volume is proportional to work.
 	Trace bool
+	// Profile installs the transaction-level flight recorder and harvests
+	// its profile into Result.Profile. Off by default.
+	Profile bool
 }
 
 // Result carries the measurements of a run.
@@ -70,10 +75,16 @@ type Result struct {
 	// Metrics is the full registry snapshot at the end of the measured
 	// phase (every layer's instruments).
 	Metrics *metrics.Snapshot
+	// Switches is the adaptive selector's decision log when Runtime is one
+	// of the Adaptive configurations; nil for the static runtimes.
+	Switches []adaptive.Switch
 	// TraceEvents are the measured phase's trace events when
 	// Config.Trace was set; TraceStart is the phase's start cycle.
 	TraceEvents []sim.TraceEvent
 	TraceStart  uint64
+	// Profile is the flight-recorder snapshot when Config.Profile was set
+	// (and the runtime supports profiling); nil otherwise.
+	Profile *txprof.Profile
 }
 
 // New instantiates an application by name.
@@ -124,6 +135,7 @@ func Run(cfg Config) (Result, error) {
 		Cores:   cfg.Threads,
 		Runtime: cfg.Runtime,
 		Machine: &mc,
+		Profile: cfg.Profile,
 	}
 	s := asfstack.New(opts)
 	s.Setup(func(tx tm.Tx) { app.Setup(s, tx, cfg.Threads) })
@@ -144,12 +156,16 @@ func Run(cfg Config) (Result, error) {
 		res.Breakdown = res.Breakdown.Add(s.M.CPU(i).Counters())
 	}
 	res.Metrics = s.MetricsSnapshot()
+	if s.ADAPT != nil {
+		res.Switches = s.ADAPT.Switches()
+	}
 	if cfg.Trace {
 		// Drain before validation runs more simulated work: the trace
 		// should cover exactly the measured phase.
 		res.TraceEvents = s.M.TraceEvents()
 		res.TraceStart = start
 	}
+	res.Profile = s.TxProfile()
 
 	var verr error
 	s.Setup(func(tx tm.Tx) { verr = app.Validate(tx) })

@@ -105,12 +105,24 @@ type Runtime struct {
 	descs []*txDesc
 
 	hook tm.CommitHook
+	prof tm.TxProfiler
 
 	met rtMetrics
 }
 
 // SetCommitHook implements tm.HookableRuntime.
 func (r *Runtime) SetCommitHook(h tm.CommitHook) { r.hook = h }
+
+// SetProfiler implements tm.ProfilableRuntime.
+func (r *Runtime) SetProfiler(p tm.TxProfiler) { r.prof = p }
+
+// record feeds the flight recorder (nil check = the disabled-path cost).
+func (r *Runtime) record(c *sim.CPU, ev tm.TxEvent) {
+	if r.prof != nil {
+		ev.Time = c.Now()
+		r.prof.Record(c.ID(), ev)
+	}
+}
 
 // notifyCommit reports a commit to the hook under the global turn (see
 // tm.CommitHook).
@@ -176,6 +188,12 @@ type txDesc struct {
 	// each append charges a real store (TinySTM's logs are ordinary
 	// malloc'd arrays that stay cache-hot).
 	readLog, writeLog mem.Addr
+
+	// lastBy/lastAddr: the causality edge of the most recent abort (lock
+	// owner that conflicted and the contended word), recorded just before
+	// the longjmp for the flight recorder.
+	lastBy   int
+	lastAddr mem.Addr
 }
 
 // stmConflict is the panic sentinel for the software longjmp on abort.
@@ -295,6 +313,11 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 		c.SetCategory(sim.CatTxStartCommit)
 		snap := c.Counters()
 		c.Trace(sim.TraceTxBegin, 0)
+		attemptStart := c.Now()
+		if retries == 0 {
+			r.record(c, tm.TxEvent{Kind: tm.TxEvBegin, Path: tm.PathSW,
+				Aborter: sim.NoCore, Addr: sim.NoAddr})
+		}
 		t.begin()
 
 		committed := func() (committed bool) {
@@ -327,6 +350,16 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 			r.met.attempts.Observe(id, uint64(retries+1))
 			r.met.readCommit.Observe(id, uint64(len(t.reads)))
 			r.met.writeCommit.Observe(id, uint64(len(t.writes)))
+			if r.prof != nil {
+				path := tm.PathSW
+				if t.serial {
+					path = tm.PathSerial
+				}
+				r.record(c, tm.TxEvent{Kind: tm.TxEvCommit, Path: path,
+					Aborter: sim.NoCore, Addr: sim.NoAddr,
+					Reads: uint32(len(t.reads)), Writes: uint32(len(t.writes)),
+					Cycles: c.Now() - attemptStart})
+			}
 			t.reset()
 			st.Commits++
 			c.Trace(sim.TraceTxCommit, 0)
@@ -339,6 +372,12 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 		t.publishStatus(false)
 		c.MoveToAbort(snap)
 		c.Trace(sim.TraceTxAbort, 0)
+		if r.prof != nil {
+			r.record(c, tm.TxEvent{Kind: tm.TxEvAbort, Path: tm.PathSW, STM: true,
+				Aborter: t.lastBy, Addr: t.lastAddr,
+				Reads: uint32(len(t.reads)), Writes: uint32(len(t.writes)),
+				Cycles: c.Now() - attemptStart})
+		}
 		c.SetCategory(sim.CatAbort)
 		st.STMAborts++
 		retries++
@@ -346,6 +385,9 @@ func (r *Runtime) Atomic(c *sim.CPU, body func(tx tm.Tx)) {
 		r.backoff(c, retries)
 		if retries >= r.cfg.MaxRetriesBeforeSerial || t.forceSerial {
 			t.forceSerial = false
+			c.Trace(sim.TraceTxFallback, uint64(tm.PathSerial))
+			r.record(c, tm.TxEvent{Kind: tm.TxEvFallback, Path: tm.PathSerial,
+				Aborter: sim.NoCore, Addr: sim.NoAddr})
 			r.acquireSerial(c)
 			r.met.serialEntries.Inc(c.ID())
 			t.serialStart = c.Now()
@@ -400,8 +442,22 @@ func (t *txDesc) begin() {
 	}
 }
 
-func (t *txDesc) abort() {
+func (t *txDesc) abort() { t.abortDue(sim.NoCore, sim.NoAddr) }
+
+// abortDue is abort carrying the causality edge: the conflicting lock's
+// owner (sim.NoCore when unknown) and the contended address (sim.NoAddr
+// when unknown), stashed on the descriptor for the flight recorder.
+func (t *txDesc) abortDue(by int, addr mem.Addr) {
+	t.lastBy, t.lastAddr = by, addr
 	panic(stmConflict{core: t.c.ID()})
+}
+
+// ownerOf resolves a lock word to an owner core for abort attribution.
+func ownerOf(l mem.Word) int {
+	if isLocked(l) {
+		return lockOwner(l)
+	}
+	return sim.NoCore
 }
 
 // Load implements tm.Tx: TinySTM's invisible read with LSA extension.
@@ -425,7 +481,7 @@ func (t *txDesc) Load(a mem.Addr) mem.Word {
 				l = c.Load(la)
 			}
 		} else {
-			t.abort()
+			t.abortDue(lockOwner(l), a)
 		}
 	}
 	v := c.Load(a)
@@ -434,7 +490,7 @@ func (t *txDesc) Load(a mem.Addr) mem.Word {
 		if t.serial {
 			return t.Load(a)
 		}
-		t.abort()
+		t.abortDue(ownerOf(l2), a)
 	}
 	if versionOf(l) > t.start {
 		t.extend()
@@ -463,7 +519,7 @@ func (t *txDesc) Store(a mem.Addr, v mem.Word) {
 					l = c.Load(la)
 				}
 			} else {
-				t.abort()
+				t.abortDue(lockOwner(l), a)
 			}
 		}
 	}
@@ -471,12 +527,12 @@ func (t *txDesc) Store(a mem.Addr, v mem.Word) {
 		if versionOf(l) > t.start {
 			t.extend()
 		}
-		if _, ok := c.CAS(la, l, lockedBy(c.ID())); !ok {
+		if cur, ok := c.CAS(la, l, lockedBy(c.ID())); !ok {
 			if t.serial {
 				t.Store(a, v) // retry
 				return
 			}
-			t.abort()
+			t.abortDue(ownerOf(cur), a)
 		}
 		first = true
 	}
@@ -501,7 +557,7 @@ func (t *txDesc) extend() {
 			if t.serial {
 				continue
 			}
-			t.abort()
+			t.abortDue(ownerOf(l), sim.NoAddr)
 		}
 	}
 	t.start = now
@@ -524,7 +580,7 @@ func (t *txDesc) commit() {
 	// underneath it. (It spins on our locks, so once it can read our
 	// words we have either fully committed or fully undone.)
 	if !t.serial && c.Load(t.r.serialLock) != 0 {
-		t.abort()
+		t.abortDue(sim.NoCore, t.r.serialLock)
 	}
 	ts := uint64(c.FetchAdd(t.r.clockAddr, 2))>>1 + 1
 	if ts > t.start+1 {

@@ -167,3 +167,125 @@ type HookableRuntime interface {
 type Irrevocably interface {
 	BecomeIrrevocable()
 }
+
+// --- Transaction-level profiling (flight recorder) ----------------------
+//
+// The types below are the wire format between the runtimes and the
+// internal/txprof flight recorder. They live in tm (not txprof) so that
+// runtimes depend only on the ABI; txprof implements TxProfiler on top.
+
+// TxEventKind tags one flight-recorder record.
+type TxEventKind uint8
+
+const (
+	// TxEvBegin: a transaction (first attempt) started.
+	TxEvBegin TxEventKind = iota
+	// TxEvAbort: an attempt aborted. Cause/Code/Aborter/Addr carry the
+	// abort cause and its causality edge; Reads/Writes the attempt's
+	// read/write-set sizes at rollback; Cycles the cycles the attempt
+	// burned (wasted work).
+	TxEvAbort
+	// TxEvFallback: the runtime switched execution path (Path is the path
+	// being entered: hardware → software, → serial, ...).
+	TxEvFallback
+	// TxEvCommit: an attempt committed on Path. Reads/Writes are the
+	// final set sizes, Cycles the committed attempt's duration.
+	TxEvCommit
+
+	NumTxEventKinds = iota
+)
+
+func (k TxEventKind) String() string {
+	switch k {
+	case TxEvBegin:
+		return "begin"
+	case TxEvAbort:
+		return "abort"
+	case TxEvFallback:
+		return "fallback"
+	case TxEvCommit:
+		return "commit"
+	default:
+		return "txev(?)"
+	}
+}
+
+// TxPath identifies the execution path of a transaction attempt.
+type TxPath uint8
+
+const (
+	// PathHW: an ASF hardware region.
+	PathHW TxPath = iota
+	// PathSW: a concurrent software path (HyTM's NOrec fallback, TinySTM,
+	// an instrumented cohort member).
+	PathSW
+	// PathSerial: the serial-irrevocable token.
+	PathSerial
+	// PathTurbo: a cohort turbo commit (uninstrumented last member).
+	PathTurbo
+
+	NumTxPaths = iota
+)
+
+func (p TxPath) String() string {
+	switch p {
+	case PathHW:
+		return "hw"
+	case PathSW:
+		return "sw"
+	case PathSerial:
+		return "serial"
+	case PathTurbo:
+		return "turbo"
+	default:
+		return "path(?)"
+	}
+}
+
+// TxEvent is one per-transaction flight-recorder record. It is plain data
+// (no pointers) so rings of them live in one allocation and recording never
+// allocates.
+type TxEvent struct {
+	// Time is the core-local cycle stamp (sim.CPU.Now) of the event.
+	Time uint64 `json:"time"`
+	// Kind/Path: what happened and on which execution path.
+	Kind TxEventKind `json:"kind"`
+	Path TxPath      `json:"path"`
+	// Cause/Code: abort cause (TxEvAbort only; Cause is a sim.AbortReason,
+	// Code the software abort code — sim.AbortNone/0 for software-runtime
+	// aborts, which set STM true instead).
+	Cause sim.AbortReason `json:"cause,omitempty"`
+	Code  uint64          `json:"code,omitempty"`
+	// STM marks a software-runtime abort (validation/locking conflict)
+	// rather than a hardware one.
+	STM bool `json:"stm,omitempty"`
+	// Aborter is the core whose access killed this attempt (the causality
+	// edge), sim.NoCore when self-inflicted or unknown.
+	Aborter int `json:"aborter"`
+	// Addr is the conflicting (or displaced) cache line, sim.NoAddr when
+	// unknown.
+	Addr mem.Addr `json:"addr"`
+	// Reads/Writes are the attempt's read/write-set sizes at the event.
+	Reads  uint32 `json:"reads"`
+	Writes uint32 `json:"writes"`
+	// Cycles is the duration of the attempt that ended with this event
+	// (abort: wasted work; commit: useful work); 0 for begin/fallback.
+	Cycles uint64 `json:"cycles"`
+}
+
+// TxProfiler receives per-transaction flight-recorder events. Record is
+// called from the core's own goroutine on the runtime hot path: it must not
+// allocate, must not synchronise across cores beyond per-core state, and is
+// only ever invoked for the given core from that core's execution.
+type TxProfiler interface {
+	Record(core int, ev TxEvent)
+}
+
+// ProfilableRuntime is implemented by runtimes that can feed a TxProfiler.
+// Passing nil uninstalls the profiler (the disabled state: runtimes keep
+// one predictable nil-check branch on the hot path and nothing else).
+// Like HookableRuntime it is kept out of Runtime so external
+// implementations stay source-compatible.
+type ProfilableRuntime interface {
+	SetProfiler(TxProfiler)
+}

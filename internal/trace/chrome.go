@@ -6,6 +6,8 @@ import (
 	"io"
 
 	"asfstack/internal/sim"
+	"asfstack/internal/tm"
+	"asfstack/internal/txprof"
 )
 
 // Chrome trace_event export: the simulator's category and transaction
@@ -111,6 +113,24 @@ func cellEvents(pid int, cell ChromeCell) []chromeEvent {
 				Ts: ts(e.Time), Cat: "tx", S: "t",
 				Args: map[string]any{"reason": sim.AbortReason(e.Arg).String()},
 			})
+		case sim.TraceTxFallback:
+			out = append(out, chromeEvent{
+				Name: "tx-fallback", Ph: "i", Pid: pid, Tid: e.Core,
+				Ts: ts(e.Time), Cat: "tx", S: "t",
+				Args: map[string]any{"path": tm.TxPath(e.Arg).String()},
+			})
+		case sim.TraceCohortSeal:
+			out = append(out, chromeEvent{
+				Name: "cohort-seal", Ph: "i", Pid: pid, Tid: e.Core,
+				Ts: ts(e.Time), Cat: "cohort", S: "t",
+				Args: map[string]any{"order": e.Arg},
+			})
+		case sim.TraceTurbo:
+			out = append(out, chromeEvent{
+				Name: "turbo", Ph: "i", Pid: pid, Tid: e.Core,
+				Ts: ts(e.Time), Cat: "cohort", S: "t",
+				Args: map[string]any{"order": e.Arg},
+			})
 		}
 	}
 	// Close open slices and emit thread names, in core order so the
@@ -126,4 +146,74 @@ func cellEvents(pid int, cell ChromeCell) []chromeEvent {
 		}
 	}
 	return out
+}
+
+// ProfileCell is one cell's flight-recorder profile for Chrome export: its
+// label and the txprof snapshot cmd/tmprof read from a BenchReport.
+type ProfileCell struct {
+	Name    string
+	Profile *txprof.Profile
+}
+
+// WriteChromeProfiles renders flight-recorder profiles as a Chrome
+// trace_event document: each cell one process, each core one thread, every
+// surviving TxEvent an instant ("i") carrying the record's full payload
+// (path, cause, causality edge, set sizes, attempt cycles). Timestamps are
+// microseconds at the simulated clock relative to each cell's earliest
+// surviving event, so cells overlay at origin zero.
+func WriteChromeProfiles(w io.Writer, cells []ProfileCell) error {
+	var out []chromeEvent
+	for pid, cell := range cells {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": cell.Name},
+		})
+		start := ^uint64(0)
+		for _, cl := range cell.Profile.Cores {
+			if len(cl.Events) > 0 && cl.Events[0].Time < start {
+				start = cl.Events[0].Time
+			}
+		}
+		for _, cl := range cell.Profile.Cores {
+			if len(cl.Events) == 0 {
+				continue
+			}
+			for _, ev := range cl.Events {
+				args := map[string]any{"path": ev.Path.String()}
+				switch ev.Kind {
+				case tm.TxEvAbort:
+					cause := ev.Cause.String()
+					if ev.STM {
+						cause = "stm"
+					}
+					args["cause"] = cause
+					if ev.Aborter != sim.NoCore {
+						args["by"] = ev.Aborter
+					}
+					if ev.Addr != sim.NoAddr {
+						args["addr"] = ev.Addr.String()
+					}
+					args["reads"], args["writes"] = ev.Reads, ev.Writes
+					args["wasted_cycles"] = ev.Cycles
+				case tm.TxEvCommit:
+					args["reads"], args["writes"] = ev.Reads, ev.Writes
+					args["cycles"] = ev.Cycles
+				}
+				out = append(out, chromeEvent{
+					Name: "txprof-" + ev.Kind.String(), Ph: "i", Pid: pid, Tid: cl.Core,
+					Ts: float64(ev.Time-start) / cyclesPerMicro, Cat: "txprof", S: "t",
+					Args: args,
+				})
+			}
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: cl.Core,
+				Args: map[string]any{"name": fmt.Sprintf("core %d", cl.Core)},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayUnit: "ms"})
 }

@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"asfstack/internal/sim"
+	"asfstack/internal/tm"
 	"asfstack/internal/trace"
+	"asfstack/internal/txprof"
 )
 
 // TestWriteChrome renders a synthetic two-core trace and checks the
@@ -71,5 +73,118 @@ func TestWriteChrome(t *testing.T) {
 	if len(byName["tx-begin"]) != 2 || len(byName["tx-commit"]) != 1 {
 		t.Errorf("lifecycle events: begin=%d commit=%d, want 2/1",
 			len(byName["tx-begin"]), len(byName["tx-commit"]))
+	}
+}
+
+// TestWriteChromeLifecycleInstants covers the runtime-path and cohort
+// lifecycle kinds: fallback transitions carry the entered path, seal and
+// turbo points carry the cohort order.
+func TestWriteChromeLifecycleInstants(t *testing.T) {
+	cell := trace.ChromeCell{
+		Name:  "lifecycle cell",
+		Start: 1000,
+		Events: []sim.TraceEvent{
+			{Core: 0, Time: 1100, Kind: sim.TraceTxBegin},
+			{Core: 0, Time: 1400, Kind: sim.TraceTxFallback, Arg: uint64(tm.PathSerial)},
+			{Core: 1, Time: 1200, Kind: sim.TraceCohortSeal, Arg: 0},
+			{Core: 1, Time: 1300, Kind: sim.TraceTurbo, Arg: 3},
+		},
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, []trace.ChromeCell{cell}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	byName := map[string][]map[string]any{}
+	for _, e := range doc.TraceEvents {
+		byName[e["name"].(string)] = append(byName[e["name"].(string)], e)
+	}
+	fb := byName["tx-fallback"]
+	if len(fb) != 1 {
+		t.Fatalf("tx-fallback events = %d, want 1", len(fb))
+	}
+	if args := fb[0]["args"].(map[string]any); args["path"] != tm.PathSerial.String() {
+		t.Errorf("fallback path = %v, want %q", args["path"], tm.PathSerial.String())
+	}
+	seal := byName["cohort-seal"]
+	if len(seal) != 1 || seal[0]["args"].(map[string]any)["order"] != float64(0) {
+		t.Fatalf("cohort-seal events = %+v, want one with order 0", seal)
+	}
+	turbo := byName["turbo"]
+	if len(turbo) != 1 || turbo[0]["args"].(map[string]any)["order"] != float64(3) {
+		t.Fatalf("turbo events = %+v, want one with order 3", turbo)
+	}
+	for _, e := range append(seal, turbo...) {
+		if e["cat"] != "cohort" {
+			t.Errorf("%s category = %v, want \"cohort\"", e["name"], e["cat"])
+		}
+	}
+}
+
+// TestWriteChromeProfiles: flight-recorder snapshots render as txprof
+// instants, timestamped relative to the earliest surviving event, with the
+// abort payload (cause, causality edge, wasted cycles) in args.
+func TestWriteChromeProfiles(t *testing.T) {
+	rec := txprof.NewRecorder(2, 8)
+	rec.Record(0, tm.TxEvent{Time: 2200, Kind: tm.TxEvBegin, Path: tm.PathHW,
+		Aborter: sim.NoCore, Addr: sim.NoAddr})
+	rec.Record(0, tm.TxEvent{Time: 4400, Kind: tm.TxEvAbort, Path: tm.PathHW,
+		Cause: sim.AbortContention, Aborter: 1, Addr: 0x1040,
+		Reads: 2, Writes: 1, Cycles: 2200})
+	rec.Record(1, tm.TxEvent{Time: 6600, Kind: tm.TxEvCommit, Path: tm.PathSW,
+		Aborter: sim.NoCore, Addr: sim.NoAddr, Reads: 4, Writes: 2, Cycles: 1100})
+	var buf bytes.Buffer
+	err := trace.WriteChromeProfiles(&buf, []trace.ProfileCell{
+		{Name: "profiled cell", Profile: rec.Profile()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	byName := map[string][]map[string]any{}
+	for _, e := range doc.TraceEvents {
+		byName[e["name"].(string)] = append(byName[e["name"].(string)], e)
+	}
+	if len(byName["thread_name"]) != 2 {
+		t.Fatalf("thread_name events = %d, want 2", len(byName["thread_name"]))
+	}
+	begins := byName["txprof-begin"]
+	if len(begins) != 1 {
+		t.Fatalf("txprof-begin events = %d, want 1", len(begins))
+	}
+	// Earliest surviving event (2200) is the origin: begin at 0µs.
+	if ts := begins[0]["ts"].(float64); ts != 0 {
+		t.Errorf("begin ts = %v, want 0", ts)
+	}
+	aborts := byName["txprof-abort"]
+	if len(aborts) != 1 {
+		t.Fatalf("txprof-abort events = %d, want 1", len(aborts))
+	}
+	// 4400 cycles after origin at 2200 cycles/µs = 1µs.
+	if ts := aborts[0]["ts"].(float64); ts != 1 {
+		t.Errorf("abort ts = %v µs, want 1", ts)
+	}
+	args := aborts[0]["args"].(map[string]any)
+	if args["cause"] != sim.AbortContention.String() || args["by"] != float64(1) ||
+		args["addr"] != "0x1040" || args["wasted_cycles"] != float64(2200) {
+		t.Errorf("abort args = %+v", args)
+	}
+	commits := byName["txprof-commit"]
+	if len(commits) != 1 {
+		t.Fatalf("txprof-commit events = %d, want 1", len(commits))
+	}
+	cargs := commits[0]["args"].(map[string]any)
+	if cargs["path"] != "sw" || cargs["reads"] != float64(4) || cargs["cycles"] != float64(1100) {
+		t.Errorf("commit args = %+v", cargs)
 	}
 }

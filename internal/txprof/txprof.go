@@ -1,0 +1,304 @@
+// Package txprof is the transaction-level flight recorder: a fixed-size
+// per-core ring of tm.TxEvent records (begin/abort/fallback/commit, with
+// abort cause, causality edge, set sizes and attempt cycles) that every TM
+// runtime feeds through the tm.TxProfiler ABI, plus the deterministic
+// Profile aggregation (wasted-work accounting, top contended lines,
+// aborter→victim causality graph) that cmd/tmprof analyses.
+//
+// Cost model: the rings and all full-run aggregates are allocated once at
+// construction, so Record never allocates — it is a handful of array writes
+// on per-core state touched only from that core's goroutine. When profiling
+// is disabled the runtimes hold a nil tm.TxProfiler and pay exactly one
+// predictable branch per would-be record (see the package benchmarks).
+//
+// Determinism: each core records only its own events in its own execution
+// order, and Profile walks cores in index order with all aggregate sorts
+// total — so for a fixed seed the serialized profile is byte-identical
+// across runs and any host worker count.
+package txprof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"asfstack/internal/mem"
+	"asfstack/internal/sim"
+	"asfstack/internal/tm"
+)
+
+// DefaultRing is the per-core ring capacity used when none is given: deep
+// enough to hold every event of a litmus iteration or a profiling window,
+// small enough that a full 8-core recorder stays under a megabyte.
+const DefaultRing = 512
+
+// coreRing is one core's flight-recorder state. Only that core's goroutine
+// touches it while the machine runs; the trailing pad keeps neighbouring
+// cores' rings out of each other's cache lines.
+type coreRing struct {
+	buf []tm.TxEvent
+	n   uint64 // total events ever recorded; head slot is n % cap
+
+	// Full-run aggregates (precise even after the ring wraps).
+	kinds     [tm.NumTxEventKinds]uint64
+	causes    [sim.NumAbortReasons]uint64
+	stmAborts uint64
+	wasted    uint64   // cycles burned in aborted attempts
+	useful    uint64   // cycles of committed attempts
+	edges     []uint64 // aborts of this core caused by core i
+
+	_ [64]byte // false-sharing pad
+}
+
+// Recorder implements tm.TxProfiler: the per-core flight recorder.
+type Recorder struct {
+	rings []coreRing
+	ring  int
+}
+
+var _ tm.TxProfiler = (*Recorder)(nil)
+
+// NewRecorder returns a recorder for cores cores with the given per-core
+// ring capacity (DefaultRing when ring <= 0). All memory is allocated here.
+func NewRecorder(cores, ring int) *Recorder {
+	if ring <= 0 {
+		ring = DefaultRing
+	}
+	r := &Recorder{rings: make([]coreRing, cores), ring: ring}
+	for i := range r.rings {
+		r.rings[i].buf = make([]tm.TxEvent, ring)
+		r.rings[i].edges = make([]uint64, cores)
+	}
+	return r
+}
+
+// Record appends ev to core's ring and folds it into the full-run
+// aggregates. Zero allocations; called only from core's own goroutine.
+func (r *Recorder) Record(core int, ev tm.TxEvent) {
+	rg := &r.rings[core]
+	rg.buf[rg.n%uint64(len(rg.buf))] = ev
+	rg.n++
+	rg.kinds[ev.Kind]++
+	switch ev.Kind {
+	case tm.TxEvAbort:
+		rg.wasted += ev.Cycles
+		if ev.STM {
+			rg.stmAborts++
+		} else {
+			rg.causes[ev.Cause]++
+		}
+		if ev.Aborter >= 0 && ev.Aborter < len(rg.edges) {
+			rg.edges[ev.Aborter]++
+		}
+	case tm.TxEvCommit:
+		rg.useful += ev.Cycles
+	}
+}
+
+// Reset clears all rings and aggregates (start of the measured phase).
+// Must be called at a barrier (no cores running).
+func (r *Recorder) Reset() {
+	for i := range r.rings {
+		rg := &r.rings[i]
+		rg.n = 0
+		rg.kinds = [tm.NumTxEventKinds]uint64{}
+		rg.causes = [sim.NumAbortReasons]uint64{}
+		rg.stmAborts, rg.wasted, rg.useful = 0, 0, 0
+		for j := range rg.edges {
+			rg.edges[j] = 0
+		}
+	}
+}
+
+// The txprof profile document schema. Additive changes (new fields) bump
+// nothing; renames or semantic changes bump ProfileVersion.
+const (
+	ProfileSchema  = "asfstack/txprof"
+	ProfileVersion = 1
+)
+
+// TopLinesN caps the contended-line leaderboard in a Profile.
+const TopLinesN = 16
+
+// Profile is the serialized flight-recorder state: the surviving per-core
+// event windows plus full-run aggregates. It is deterministic for a fixed
+// seed (see the package comment).
+type Profile struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	// Ring is the per-core ring capacity the recording ran with.
+	Ring int `json:"ring"`
+
+	Cores   []CoreLog `json:"cores"`
+	Summary Summary   `json:"summary"`
+}
+
+// CoreLog is one core's surviving event window, oldest first. Recorded
+// counts every event the core ever logged; when it exceeds len(Events) the
+// ring wrapped and only the newest window survives.
+type CoreLog struct {
+	Core     int          `json:"core"`
+	Recorded uint64       `json:"recorded"`
+	Events   []tm.TxEvent `json:"events"`
+}
+
+// Summary is the full-run aggregate section of a Profile. Counts and cycle
+// sums are precise even when rings wrapped; TopLines is computed from the
+// surviving windows only (the flight-recorder horizon).
+type Summary struct {
+	Begins    uint64 `json:"begins"`
+	Commits   uint64 `json:"commits"`
+	Aborts    uint64 `json:"aborts"`
+	Fallbacks uint64 `json:"fallbacks"`
+
+	// UsefulCycles/WastedCycles: cycles of committed attempts vs cycles
+	// burned in aborted attempts. WastedRatio = wasted/(wasted+useful).
+	UsefulCycles uint64  `json:"useful_cycles"`
+	WastedCycles uint64  `json:"wasted_cycles"`
+	WastedRatio  float64 `json:"wasted_ratio"`
+
+	// AbortsByCause in sim.AbortReason order (plus the "stm" software
+	// pseudo-cause), zero-count causes omitted.
+	AbortsByCause []CauseCount `json:"aborts_by_cause,omitempty"`
+	// TopLines: most contended cache lines by abort count over the
+	// surviving event windows (count desc, address asc; ≤ TopLinesN).
+	TopLines []LineCount `json:"top_lines,omitempty"`
+	// Edges is the aborter→victim causality graph (full-run precise),
+	// sorted by (from, to).
+	Edges []Edge `json:"edges,omitempty"`
+}
+
+// CauseCount is one abort cause's total.
+type CauseCount struct {
+	Cause string `json:"cause"`
+	Count uint64 `json:"count"`
+}
+
+// LineCount is one contended cache line's abort count.
+type LineCount struct {
+	Addr  mem.Addr `json:"addr"`
+	Count uint64   `json:"count"`
+}
+
+// Edge is one aborter→victim edge of the causality graph: From's accesses
+// aborted To's transactions Count times.
+type Edge struct {
+	From  int    `json:"from"`
+	To    int    `json:"to"`
+	Count uint64 `json:"count"`
+}
+
+// Profile snapshots the recorder into its serialized form. Must be called
+// at a barrier (no cores running).
+func (r *Recorder) Profile() *Profile {
+	p := &Profile{Schema: ProfileSchema, Version: ProfileVersion, Ring: r.ring}
+	lines := map[mem.Addr]uint64{}
+	var causes [sim.NumAbortReasons]uint64
+	var stm uint64
+	for i := range r.rings {
+		rg := &r.rings[i]
+		cl := CoreLog{Core: i, Recorded: rg.n}
+		keep := rg.n
+		if keep > uint64(len(rg.buf)) {
+			keep = uint64(len(rg.buf))
+		}
+		cl.Events = make([]tm.TxEvent, 0, keep)
+		for j := uint64(0); j < keep; j++ {
+			ev := rg.buf[(rg.n-keep+j)%uint64(len(rg.buf))]
+			cl.Events = append(cl.Events, ev)
+			if ev.Kind == tm.TxEvAbort && ev.Addr != sim.NoAddr {
+				lines[ev.Addr.Line()]++
+			}
+		}
+		p.Cores = append(p.Cores, cl)
+
+		s := &p.Summary
+		s.Begins += rg.kinds[tm.TxEvBegin]
+		s.Aborts += rg.kinds[tm.TxEvAbort]
+		s.Fallbacks += rg.kinds[tm.TxEvFallback]
+		s.Commits += rg.kinds[tm.TxEvCommit]
+		s.UsefulCycles += rg.useful
+		s.WastedCycles += rg.wasted
+		for c := range causes {
+			causes[c] += rg.causes[c]
+		}
+		stm += rg.stmAborts
+		for from, n := range rg.edges {
+			if n > 0 {
+				p.Summary.Edges = append(p.Summary.Edges, Edge{From: from, To: i, Count: n})
+			}
+		}
+	}
+
+	s := &p.Summary
+	if tot := s.WastedCycles + s.UsefulCycles; tot > 0 {
+		s.WastedRatio = float64(s.WastedCycles) / float64(tot)
+	}
+	for c := 1; c < sim.NumAbortReasons; c++ { // skip AbortNone
+		if causes[c] > 0 {
+			s.AbortsByCause = append(s.AbortsByCause, CauseCount{Cause: sim.AbortReason(c).String(), Count: causes[c]})
+		}
+	}
+	if stm > 0 {
+		s.AbortsByCause = append(s.AbortsByCause, CauseCount{Cause: "stm", Count: stm})
+	}
+	for a, n := range lines {
+		s.TopLines = append(s.TopLines, LineCount{Addr: a, Count: n})
+	}
+	sort.Slice(s.TopLines, func(i, j int) bool {
+		if s.TopLines[i].Count != s.TopLines[j].Count {
+			return s.TopLines[i].Count > s.TopLines[j].Count
+		}
+		return s.TopLines[i].Addr < s.TopLines[j].Addr
+	})
+	if len(s.TopLines) > TopLinesN {
+		s.TopLines = s.TopLines[:TopLinesN]
+	}
+	sort.Slice(s.Edges, func(i, j int) bool {
+		if s.Edges[i].From != s.Edges[j].From {
+			return s.Edges[i].From < s.Edges[j].From
+		}
+		return s.Edges[i].To < s.Edges[j].To
+	})
+	return p
+}
+
+// WriteDump renders the per-core event history as text, the form litmus
+// failures ship alongside the replay seed. Deterministic: cores in order,
+// events oldest first.
+func (p *Profile) WriteDump(w io.Writer) {
+	fmt.Fprintf(w, "txprof flight recorder: %d commits, %d aborts, wasted ratio %.3f\n",
+		p.Summary.Commits, p.Summary.Aborts, p.Summary.WastedRatio)
+	for _, cl := range p.Cores {
+		dropped := cl.Recorded - uint64(len(cl.Events))
+		fmt.Fprintf(w, "core %d: %d events", cl.Core, cl.Recorded)
+		if dropped > 0 {
+			fmt.Fprintf(w, " (%d oldest dropped by ring wrap)", dropped)
+		}
+		fmt.Fprintln(w)
+		for _, ev := range cl.Events {
+			fmt.Fprintf(w, "  @%-10d %-8s %-6s", ev.Time, ev.Kind, ev.Path)
+			switch ev.Kind {
+			case tm.TxEvAbort:
+				cause := ev.Cause.String()
+				if ev.STM {
+					cause = "stm"
+				}
+				fmt.Fprintf(w, " cause=%s", cause)
+				if ev.Code != 0 {
+					fmt.Fprintf(w, " code=0x%x", ev.Code)
+				}
+				if ev.Aborter != sim.NoCore {
+					fmt.Fprintf(w, " by=core%d", ev.Aborter)
+				}
+				if ev.Addr != sim.NoAddr {
+					fmt.Fprintf(w, " addr=%s", ev.Addr)
+				}
+				fmt.Fprintf(w, " r/w=%d/%d wasted=%d", ev.Reads, ev.Writes, ev.Cycles)
+			case tm.TxEvCommit:
+				fmt.Fprintf(w, " r/w=%d/%d cycles=%d", ev.Reads, ev.Writes, ev.Cycles)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package txprof
+
+import (
+	"strings"
+	"testing"
+
+	"asfstack/internal/mem"
+	"asfstack/internal/sim"
+	"asfstack/internal/tm"
+)
+
+// TestRecorderProfile feeds a synthetic two-core history and checks every
+// aggregate: kind totals, the cause breakdown with the stm pseudo-cause,
+// cycle accounting, line aggregation to cache-line granularity, and the
+// sorted causality edges.
+func TestRecorderProfile(t *testing.T) {
+	r := NewRecorder(2, 8)
+	r.Record(0, tm.TxEvent{Time: 10, Kind: tm.TxEvBegin, Path: tm.PathHW,
+		Aborter: sim.NoCore, Addr: sim.NoAddr})
+	r.Record(0, tm.TxEvent{Time: 40, Kind: tm.TxEvAbort, Path: tm.PathHW,
+		Cause: sim.AbortContention, Aborter: 1, Addr: 0x1048, Cycles: 30})
+	r.Record(0, tm.TxEvent{Time: 90, Kind: tm.TxEvCommit, Path: tm.PathHW,
+		Aborter: sim.NoCore, Addr: sim.NoAddr, Reads: 3, Writes: 1, Cycles: 50})
+	r.Record(1, tm.TxEvent{Time: 15, Kind: tm.TxEvBegin, Path: tm.PathSW,
+		Aborter: sim.NoCore, Addr: sim.NoAddr})
+	r.Record(1, tm.TxEvent{Time: 60, Kind: tm.TxEvAbort, Path: tm.PathSW,
+		STM: true, Aborter: sim.NoCore, Addr: 0x1050, Cycles: 45})
+	r.Record(1, tm.TxEvent{Time: 70, Kind: tm.TxEvFallback, Path: tm.PathSerial,
+		Aborter: sim.NoCore, Addr: sim.NoAddr})
+	r.Record(1, tm.TxEvent{Time: 120, Kind: tm.TxEvCommit, Path: tm.PathSerial,
+		Aborter: sim.NoCore, Addr: sim.NoAddr, Cycles: 50})
+
+	p := r.Profile()
+	s := p.Summary
+	if s.Begins != 2 || s.Commits != 2 || s.Aborts != 2 || s.Fallbacks != 1 {
+		t.Fatalf("kind totals = %d/%d/%d/%d, want 2/2/2/1",
+			s.Begins, s.Commits, s.Aborts, s.Fallbacks)
+	}
+	if s.UsefulCycles != 100 || s.WastedCycles != 75 {
+		t.Fatalf("cycles = useful %d wasted %d, want 100/75", s.UsefulCycles, s.WastedCycles)
+	}
+	if want := 75.0 / 175.0; s.WastedRatio != want {
+		t.Fatalf("wasted ratio = %v, want %v", s.WastedRatio, want)
+	}
+	wantCauses := []CauseCount{
+		{Cause: sim.AbortContention.String(), Count: 1},
+		{Cause: "stm", Count: 1},
+	}
+	if len(s.AbortsByCause) != len(wantCauses) {
+		t.Fatalf("causes = %+v, want %+v", s.AbortsByCause, wantCauses)
+	}
+	for i, c := range wantCauses {
+		if s.AbortsByCause[i] != c {
+			t.Fatalf("cause[%d] = %+v, want %+v", i, s.AbortsByCause[i], c)
+		}
+	}
+	// 0x1048 and 0x1050 share the 0x1040 cache line.
+	if len(s.TopLines) != 1 || s.TopLines[0].Addr != mem.Addr(0x1048).Line() || s.TopLines[0].Count != 2 {
+		t.Fatalf("top lines = %+v, want one line with 2 aborts", s.TopLines)
+	}
+	// Only the hardware abort carries an aborter; the stm abort does not.
+	if len(s.Edges) != 1 || (s.Edges[0] != Edge{From: 1, To: 0, Count: 1}) {
+		t.Fatalf("edges = %+v, want [{1 0 1}]", s.Edges)
+	}
+	if len(p.Cores) != 2 || p.Cores[0].Recorded != 3 || p.Cores[1].Recorded != 4 {
+		t.Fatalf("core logs = %+v", p.Cores)
+	}
+}
+
+// TestRingWrap: the surviving window shrinks to the ring capacity but the
+// scalar aggregates stay precise, and TopLines is computed from the window
+// only.
+func TestRingWrap(t *testing.T) {
+	r := NewRecorder(1, 4)
+	for i := 0; i < 10; i++ {
+		addr := mem.Addr(0x1000) // dropped from the window by later events
+		if i >= 6 {
+			addr = mem.Addr(0x2000)
+		}
+		r.Record(0, tm.TxEvent{Time: uint64(i), Kind: tm.TxEvAbort, Path: tm.PathHW,
+			Cause: sim.AbortContention, Aborter: sim.NoCore, Addr: addr, Cycles: 7})
+	}
+	p := r.Profile()
+	cl := p.Cores[0]
+	if cl.Recorded != 10 || len(cl.Events) != 4 {
+		t.Fatalf("recorded %d, window %d; want 10, 4", cl.Recorded, len(cl.Events))
+	}
+	if cl.Events[0].Time != 6 || cl.Events[3].Time != 9 {
+		t.Fatalf("window = %v..%v, want the newest 4 (6..9)", cl.Events[0].Time, cl.Events[3].Time)
+	}
+	if p.Summary.Aborts != 10 || p.Summary.WastedCycles != 70 {
+		t.Fatalf("aggregates not precise across wrap: aborts %d wasted %d",
+			p.Summary.Aborts, p.Summary.WastedCycles)
+	}
+	if len(p.Summary.TopLines) != 1 || p.Summary.TopLines[0].Addr != mem.Addr(0x2000).Line() {
+		t.Fatalf("top lines = %+v, want only the surviving window's line", p.Summary.TopLines)
+	}
+}
+
+// TestReset: a reset recorder profiles as empty.
+func TestReset(t *testing.T) {
+	r := NewRecorder(2, 8)
+	r.Record(0, tm.TxEvent{Kind: tm.TxEvCommit, Aborter: sim.NoCore, Addr: sim.NoAddr, Cycles: 9})
+	r.Record(1, tm.TxEvent{Kind: tm.TxEvAbort, Cause: sim.AbortContention, Aborter: 0, Addr: 0x40, Cycles: 3})
+	r.Reset()
+	p := r.Profile()
+	s := p.Summary
+	if s.Begins != 0 || s.Commits != 0 || s.Aborts != 0 || s.Fallbacks != 0 ||
+		s.UsefulCycles != 0 || s.WastedCycles != 0 ||
+		len(s.AbortsByCause) != 0 || len(s.TopLines) != 0 || len(s.Edges) != 0 {
+		t.Fatalf("summary after reset = %+v, want zero", s)
+	}
+	for _, cl := range p.Cores {
+		if cl.Recorded != 0 || len(cl.Events) != 0 {
+			t.Fatalf("core %d not empty after reset: %+v", cl.Core, cl)
+		}
+	}
+}
+
+// TestWriteDump pins the dump's load-bearing content (not exact spacing):
+// the summary line, the wrap annotation, and the abort record's cause,
+// causality edge and wasted cycles.
+func TestWriteDump(t *testing.T) {
+	r := NewRecorder(2, 2)
+	r.Record(0, tm.TxEvent{Time: 5, Kind: tm.TxEvBegin, Path: tm.PathHW,
+		Aborter: sim.NoCore, Addr: sim.NoAddr})
+	r.Record(0, tm.TxEvent{Time: 20, Kind: tm.TxEvAbort, Path: tm.PathHW,
+		Cause: sim.AbortContention, Code: 0x10, Aborter: 1, Addr: 0x1040,
+		Reads: 2, Writes: 1, Cycles: 15})
+	r.Record(0, tm.TxEvent{Time: 50, Kind: tm.TxEvCommit, Path: tm.PathHW,
+		Aborter: sim.NoCore, Addr: sim.NoAddr, Reads: 2, Writes: 1, Cycles: 30})
+	var b strings.Builder
+	r.Profile().WriteDump(&b)
+	got := b.String()
+	for _, want := range []string{
+		"txprof flight recorder: 1 commits, 1 aborts, wasted ratio 0.333",
+		"core 0: 3 events (1 oldest dropped by ring wrap)",
+		"cause=contention code=0x10 by=core1 addr=0x1040 r/w=2/1 wasted=15",
+		"core 1: 0 events",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("dump missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRecordAllocs: Record must never allocate — it runs on every
+// transaction event of a profiled run.
+func TestRecordAllocs(t *testing.T) {
+	r := NewRecorder(1, 64)
+	ev := tm.TxEvent{Kind: tm.TxEvAbort, Cause: sim.AbortContention,
+		Aborter: 0, Addr: 0x1040, Cycles: 12}
+	if n := testing.AllocsPerRun(100, func() { r.Record(0, ev) }); n != 0 {
+		t.Fatalf("Record allocates %v per call, want 0", n)
+	}
+}
+
+// guarded mimics the runtimes' instrumentation sites: a nil-checked
+// tm.TxProfiler field. The benchmarks below compare the three states the
+// cost model in the package comment claims — enabled (array writes),
+// disabled (one predictable branch), absent (no call at all).
+type guarded struct {
+	prof tm.TxProfiler
+}
+
+//go:noinline
+func (g *guarded) record(core int, ev tm.TxEvent) {
+	if g.prof != nil {
+		g.prof.Record(core, ev)
+	}
+}
+
+//go:noinline
+func (g *guarded) absent(core int, ev tm.TxEvent) {}
+
+var benchEv = tm.TxEvent{Time: 100, Kind: tm.TxEvAbort, Path: tm.PathHW,
+	Cause: sim.AbortContention, Aborter: 1, Addr: 0x1040, Reads: 8, Writes: 2, Cycles: 400}
+
+// BenchmarkRecordEnabled: the full recording path. Must report 0 allocs/op.
+func BenchmarkRecordEnabled(b *testing.B) {
+	g := &guarded{prof: NewRecorder(1, DefaultRing)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.record(0, benchEv)
+	}
+}
+
+// BenchmarkRecordDisabled: the nil-profiler branch every unprofiled
+// transaction pays. Must report 0 allocs/op and sit within noise of
+// BenchmarkRecordAbsent.
+func BenchmarkRecordDisabled(b *testing.B) {
+	g := &guarded{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.record(0, benchEv)
+	}
+}
+
+// BenchmarkRecordAbsent: the same call shape with no instrumentation at
+// all — the baseline BenchmarkRecordDisabled is compared against.
+func BenchmarkRecordAbsent(b *testing.B) {
+	g := &guarded{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.absent(0, benchEv)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"asfstack/internal/sim"
 	"asfstack/internal/stm"
 	"asfstack/internal/tm"
+	"asfstack/internal/txprof"
 )
 
 // RuntimeNames lists the accepted Options.Runtime values, in the order the
@@ -58,6 +59,13 @@ type Options struct {
 	// Machine, if non-nil, overrides the default Barcelona configuration
 	// (Cores and Seed above still apply).
 	Machine *sim.Config
+	// Profile installs the transaction-level flight recorder
+	// (internal/txprof) on the selected runtime. Off by default: the
+	// disabled path costs one nil check per would-be event.
+	Profile bool
+	// ProfileRing overrides the per-core event ring capacity
+	// (txprof.DefaultRing when zero).
+	ProfileRing int
 }
 
 // Stack is one simulated machine with one TM runtime installed.
@@ -88,6 +96,10 @@ type Stack struct {
 	// instruments here during construction, keyed per core. Snapshot via
 	// MetricsSnapshot, which enforces barrier semantics.
 	Metrics *metrics.Registry
+	// Prof is the transaction-level flight recorder when Options.Profile
+	// was set (and the selected runtime supports profiling), else nil.
+	// Snapshot via TxProfile, which enforces barrier semantics.
+	Prof *txprof.Recorder
 
 	gauges stackGauges
 }
@@ -249,6 +261,12 @@ func New(opts Options) *Stack {
 		s.ASFTM.SetMetrics(s.Metrics)
 		s.RT = s.ASFTM
 	}
+	if opts.Profile {
+		if p, ok := s.RT.(tm.ProfilableRuntime); ok {
+			s.Prof = txprof.NewRecorder(opts.Cores, opts.ProfileRing)
+			p.SetProfiler(s.Prof)
+		}
+	}
 	return s
 }
 
@@ -299,7 +317,23 @@ func (s *Stack) BeginMeasured() uint64 {
 	s.M.ResetAllCounters()
 	s.RT.ResetStats()
 	s.Metrics.Reset()
+	if s.Prof != nil {
+		s.Prof.Reset()
+	}
 	return start
+}
+
+// TxProfile snapshots the flight recorder into its serialized form, or
+// returns nil when Options.Profile was off. Barrier-only, like
+// MetricsSnapshot.
+func (s *Stack) TxProfile() *txprof.Profile {
+	if s.Prof == nil {
+		return nil
+	}
+	if s.M.Running() {
+		panic("asfstack: TxProfile while the machine is running; profiles are barrier-only")
+	}
+	return s.Prof.Profile()
 }
 
 // fillGauges copies the sim, cache, and tm counters into the registry's
