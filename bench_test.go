@@ -103,6 +103,34 @@ func BenchmarkAdaptive(b *testing.B) {
 	}
 }
 
+// BenchmarkFig5Cell runs one Fig. 5 cell — the 512-element linked list at
+// 8 threads, the paper's most traversal-heavy panel — under each execution
+// engine at the reported ops count. The sim results are bit-identical by
+// construction (the epoch engine replays the serial global order); the
+// benchmark exists to measure the host wall-time gap between the engines
+// and to gate the epoch hot path's allocs/op via benchjson -compare: the
+// replay path must stay allocation-free, so allocs/op growth here means a
+// window-table regression.
+func BenchmarkFig5Cell(b *testing.B) {
+	cfg := intset.Config{Structure: "linkedlist", Runtime: "LLB-256",
+		Threads: 8, Range: 512, UpdatePct: 20, OpsPerThread: 1500, Seed: 1}
+	for _, eng := range []sim.Engine{sim.EngineSerial, sim.EngineEpoch} {
+		b.Run(eng.String(), func(b *testing.B) {
+			c := cfg
+			c.Engine = eng
+			var thr float64
+			for i := 0; i < b.N; i++ {
+				r, err := intset.Run(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				thr = r.Throughput()
+			}
+			b.ReportMetric(thr, "simtx/us")
+		})
+	}
+}
+
 // --- per-workload micro-benchmarks with simulated-metric reporting -------
 
 // benchIntset runs one IntegerSet configuration per iteration, reporting

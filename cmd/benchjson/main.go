@@ -57,6 +57,20 @@ type doc struct {
 	Schema   string                      `json:"schema"`
 	Version  int                         `json:"version"`
 	Sections map[string]map[string]entry `json:"sections"`
+	// Engines records which simulator engine each section's benchmarks ran
+	// under ("serial" or "epoch"), keyed by section name. Absent for
+	// sections written before the field existed, which -compare treats as
+	// "serial" — every historical baseline was. Additive: no version bump.
+	Engines map[string]string `json:"engines,omitempty"`
+}
+
+// sectionEngine returns the engine a section was recorded under, defaulting
+// to "serial" for pre-engine documents.
+func sectionEngine(d doc, sec string) string {
+	if e, ok := d.Engines[sec]; ok && e != "" {
+		return e
+	}
+	return "serial"
 }
 
 func main() {
@@ -65,6 +79,10 @@ func main() {
 	compare := flag.String("compare", "",
 		"compare two sections of the -o file (SECTION_A,SECTION_B); exit 1 when allocs/op or B/op regresses")
 	check := flag.Bool("check", false, "validate the named BENCH_*.json files against the bench-json schema and exit")
+	engine := flag.String("engine", "",
+		"record the simulator engine this section's benchmarks ran under (serial or epoch); -compare refuses mismatched sections")
+	allowEngineMismatch := flag.Bool("allow-engine-mismatch", false,
+		"let -compare diff sections recorded under different engines (host-time columns are then apples to oranges)")
 	flag.Parse()
 
 	if *check {
@@ -82,7 +100,7 @@ func main() {
 		return
 	}
 	if *compare != "" {
-		regressed, err := compareSections(os.Stdout, *out, *compare)
+		regressed, err := compareSections(os.Stdout, *out, *compare, *allowEngineMismatch)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -105,6 +123,16 @@ func main() {
 
 	d := load(*out)
 	d.Sections[*section] = parsed
+	if *engine != "" {
+		if *engine != "serial" && *engine != "epoch" {
+			fmt.Fprintf(os.Stderr, "benchjson: unknown -engine %q (want serial or epoch)\n", *engine)
+			os.Exit(1)
+		}
+		if d.Engines == nil {
+			d.Engines = map[string]string{}
+		}
+		d.Engines[*section] = *engine
+	}
 	data, err := json.MarshalIndent(d, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -152,6 +180,11 @@ func checkFile(path string) error {
 	if len(d.Sections) == 0 {
 		return fmt.Errorf("%s: no sections", path)
 	}
+	for name, e := range d.Engines {
+		if e != "serial" && e != "epoch" {
+			return fmt.Errorf("%s: section %q records unknown engine %q", path, name, e)
+		}
+	}
 	for name, sec := range d.Sections {
 		if len(sec) == 0 {
 			return fmt.Errorf("%s: section %q is empty", path, name)
@@ -178,8 +211,12 @@ func checkFile(path string) error {
 
 // compareSections prints per-benchmark deltas between two sections of the
 // document at path and reports whether any deterministic metric regressed.
-// Host-time deltas are advisory: they vary with machine and load.
-func compareSections(w io.Writer, path, spec string) (regressed bool, err error) {
+// Host-time deltas are advisory: they vary with machine and load. Sections
+// recorded under different simulator engines refuse to compare unless
+// allowEngineMismatch: the sim metrics are identical by construction, but a
+// cross-engine host-time delta silently conflates the engine's speedup with
+// the code change under test.
+func compareSections(w io.Writer, path, spec string, allowEngineMismatch bool) (regressed bool, err error) {
 	parts := strings.Split(spec, ",")
 	if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" || strings.TrimSpace(parts[1]) == "" {
 		return false, fmt.Errorf("-compare wants SECTION_A,SECTION_B, got %q", spec)
@@ -203,6 +240,16 @@ func compareSections(w io.Writer, path, spec string) (regressed bool, err error)
 	b, ok := d.Sections[secB]
 	if !ok {
 		return false, fmt.Errorf("%s: no section %q (have %v)", path, secB, sectionNames(d))
+	}
+	engA, engB := sectionEngine(d, secA), sectionEngine(d, secB)
+	if engA != engB {
+		if !allowEngineMismatch {
+			return false, fmt.Errorf(
+				"%s: section %q ran under the %s engine but %q under %s; host-time deltas would conflate the engine with the change (re-run one side, or pass -allow-engine-mismatch)",
+				path, secA, engA, secB, engB)
+		}
+		fmt.Fprintf(w, "WARNING: comparing %s-engine section %q against %s-engine section %q; host-time deltas include the engine difference\n",
+			engA, secA, engB, secB)
 	}
 
 	det := map[string]bool{}
@@ -295,6 +342,7 @@ func load(path string) doc {
 	if prev.Sections != nil {
 		d.Sections = prev.Sections
 	}
+	d.Engines = prev.Engines
 	return d
 }
 

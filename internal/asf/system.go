@@ -19,11 +19,27 @@ type System struct {
 	units   []*Unit
 
 	// prot maps a line address to its protection state — the model of
-	// what coherence probes would discover. Entries exist only while some
-	// region protects the line.
+	// what coherence probes would discover. Entries are created on first
+	// protection and kept forever (bounded by the workload's footprint):
+	// a quiescent entry (no readers, no writer) answers every probe
+	// exactly like an absent one, and the stable *protState pointers let
+	// the units and the pcache below skip the map on the hot paths.
 	prot map[mem.Addr]*protState
 
+	// pcache is a direct-mapped line→protState cache in front of prot,
+	// the same idiom as mem's page cache. Because prot entries are never
+	// deleted, cached pointers cannot dangle; a collision only costs a
+	// map lookup.
+	pcache [pcacheSlots]pcacheEnt
+
 	met sysMetrics
+}
+
+const pcacheSlots = 2048 // power of two
+
+type pcacheEnt struct {
+	line mem.Addr
+	p    *protState // nil marks an empty slot
 }
 
 // sysMetrics holds the facility's registered metric handles. All handles
@@ -62,7 +78,7 @@ func (s *System) SetMetrics(reg *metrics.Registry) {
 }
 
 type protState struct {
-	readers uint32 // cores monitoring the line (read or write set)
+	readers uint64 // cores monitoring the line (read or write set; 64-core cap)
 	writer  int8   // core holding it speculatively modified, or -1
 }
 
@@ -79,6 +95,7 @@ func Install(m *sim.Machine, v Variant) *System {
 		u := newUnit(s, m.CPU(i))
 		s.units = append(s.units, u)
 		m.CPU(i).SetSpecUnit(u)
+		m.CPU(i).SetReplayTracker(u)
 	}
 	m.SetAccessHook(s.onAccess)
 	m.Hier.SetEvictHook(s.onEvict)
@@ -91,20 +108,34 @@ func (s *System) Variant() Variant { return s.variant }
 // Unit returns core i's speculative unit.
 func (s *System) Unit(i int) *Unit { return s.units[i] }
 
+// protFor returns line's directory entry, materialising it on first use.
 func (s *System) protFor(line mem.Addr) *protState {
+	e := &s.pcache[int(line>>mem.LineShift)&(pcacheSlots-1)]
+	if e.p != nil && e.line == line {
+		return e.p
+	}
 	p, ok := s.prot[line]
 	if !ok {
 		p = &protState{writer: -1}
 		s.prot[line] = p
 	}
+	e.line, e.p = line, p
 	return p
 }
 
-// maybeRelease drops the directory entry once nobody protects the line.
-func (s *System) maybeRelease(line mem.Addr, p *protState) {
-	if p.readers == 0 && p.writer < 0 {
-		delete(s.prot, line)
+// protLookup is protFor without materialisation: nil means the line has
+// never been protected, which every caller treats like a quiescent entry.
+func (s *System) protLookup(line mem.Addr) *protState {
+	e := &s.pcache[int(line>>mem.LineShift)&(pcacheSlots-1)]
+	if e.p != nil && e.line == line {
+		return e.p
 	}
+	p, ok := s.prot[line]
+	if !ok {
+		return nil
+	}
+	e.line, e.p = line, p
+	return p
 }
 
 // onAccess is the simulator access hook: it implements conflict detection
@@ -124,7 +155,7 @@ func (s *System) onAccess(c *sim.CPU, addr mem.Addr, f sim.Flags) {
 		// speculative marks flash-clear — before this access's fills
 		// and invalidations can displace the marks (which would
 		// misreport contention as capacity).
-		if p, ok := s.prot[line]; ok {
+		if p := s.protLookup(line); p != nil {
 			if w := int(p.writer); w >= 0 && w != self {
 				s.units[w].asyncAbortFrom(sim.AbortContention, self, line)
 			}
@@ -157,7 +188,7 @@ func (s *System) onAccess(c *sim.CPU, addr mem.Addr, f sim.Flags) {
 	}
 
 	// The region is active on this core (tracking phase).
-	p := s.prot[line]
+	p := s.protLookup(line)
 	switch {
 	case locked && write:
 		u.trackWrite(line)
@@ -206,8 +237,17 @@ func (s *System) abortAll(except int) {
 }
 
 // ProtectedLines returns how many lines are currently protected machine-
-// wide (diagnostics and tests).
-func (s *System) ProtectedLines() int { return len(s.prot) }
+// wide (diagnostics and tests). Quiescent directory entries — kept for
+// pointer stability — do not count.
+func (s *System) ProtectedLines() int {
+	n := 0
+	for _, p := range s.prot {
+		if p.readers != 0 || p.writer >= 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // Monitors reports how many cores other than c currently protect a's line
 // in an active speculative region — the set of regions a conflicting plain
@@ -218,7 +258,7 @@ func (s *System) ProtectedLines() int { return len(s.prot) }
 func (s *System) Monitors(c *sim.CPU, a mem.Addr) int {
 	n := 0
 	c.SpecOp(0, func() {
-		if p, ok := s.prot[a.Line()]; ok {
+		if p := s.protLookup(a.Line()); p != nil {
 			rd := p.readers &^ (1 << uint(c.ID()))
 			for ; rd != 0; rd >>= 1 {
 				n += int(rd & 1)

@@ -22,10 +22,12 @@ func (s *Stats) TotalAborts() uint64 {
 }
 
 // llbEntry is one locked-line-buffer slot: the address of a protected line
-// and, when the line has been speculatively modified, the backup copy that
-// is written back on abort.
+// (with its directory entry, cached so region end never touches the
+// directory map) and, when the line has been speculatively modified, the
+// backup copy that is written back on abort.
 type llbEntry struct {
 	line    mem.Addr
+	p       *protState
 	written bool
 	backup  [mem.WordsPerLine]mem.Word
 }
@@ -44,8 +46,8 @@ type Unit struct {
 	depth  int
 
 	llb        []llbEntry
-	writeCount int                   // written lines (llb or cache)
-	readSet    map[mem.Addr]struct{} // hybrid/cache variants: read lines marked in L1
+	writeCount int                     // written lines (llb or cache)
+	readSet    map[mem.Addr]*protState // hybrid/cache variants: read lines marked in L1
 	// cacheWrites holds backups for the pure cache-based variant, whose
 	// write set lives in L1 speculative bits instead of an LLB.
 	cacheWrites map[mem.Addr]*[mem.WordsPerLine]mem.Word
@@ -68,7 +70,7 @@ func newUnit(s *System, c *sim.CPU) *Unit {
 		sys:         s,
 		c:           c,
 		llb:         make([]llbEntry, 0, s.variant.LLBEntries),
-		readSet:     make(map[mem.Addr]struct{}),
+		readSet:     make(map[mem.Addr]*protState),
 		cacheWrites: make(map[mem.Addr]*[mem.WordsPerLine]mem.Word),
 		lastBy:      sim.NoCore,
 		lastAddr:    sim.NoAddr,
@@ -175,10 +177,10 @@ func (u *Unit) commit() {
 			panic("asf: COMMIT outside a speculative region")
 		}
 		for i := range u.llb {
-			u.clearProt(u.llb[i].line)
+			u.releaseProt(u.llb[i].p)
 		}
-		for line := range u.readSet {
-			u.clearProt(line)
+		for _, p := range u.readSet {
+			u.releaseProt(p)
 		}
 		for line := range u.cacheWrites {
 			u.clearProt(line)
@@ -238,10 +240,10 @@ func (u *Unit) doRollback(reason sim.AbortReason) {
 			memory.StoreLine(e.line, &e.backup)
 			hier.Drop(u.c.ID(), e.line)
 		}
-		u.clearProt(e.line)
+		u.releaseProt(e.p)
 	}
-	for line := range u.readSet {
-		u.clearProt(line)
+	for _, p := range u.readSet {
+		u.releaseProt(p)
 	}
 	for line, backup := range u.cacheWrites {
 		memory.StoreLine(line, backup)
@@ -281,13 +283,19 @@ func (u *Unit) reset() {
 	u.depth = 0
 }
 
+// releaseProt drops this core's marks from a directory entry. The entry
+// itself stays in the directory (see System.prot); a quiescent entry is
+// indistinguishable from an absent one to every probe.
+func (u *Unit) releaseProt(p *protState) {
+	p.readers &^= 1 << uint(u.c.ID())
+	if int(p.writer) == u.c.ID() {
+		p.writer = -1
+	}
+}
+
 func (u *Unit) clearProt(line mem.Addr) {
-	if p, ok := u.sys.prot[line]; ok {
-		p.readers &^= 1 << uint(u.c.ID())
-		if int(p.writer) == u.c.ID() {
-			p.writer = -1
-		}
-		u.sys.maybeRelease(line, p)
+	if p := u.sys.protLookup(line); p != nil {
+		u.releaseProt(p)
 	}
 }
 
@@ -322,49 +330,72 @@ func (u *Unit) Release(a mem.Addr) {
 				if e.written {
 					return // cannot release a written line
 				}
+				p := e.p
 				u.llb[i] = u.llb[len(u.llb)-1]
 				u.llb = u.llb[:len(u.llb)-1]
-				u.clearProt(line)
+				u.releaseProt(p)
 				return
 			}
 		}
 		if _, written := u.cacheWrites[line]; written {
 			return // cannot release a written line
 		}
-		if _, ok := u.readSet[line]; ok {
+		if p, ok := u.readSet[line]; ok {
 			delete(u.readSet, line)
 			u.sys.m.Hier.SetSpecRead(u.c.ID(), line, false)
-			u.clearProt(line)
+			u.releaseProt(p)
 		}
 	})
 }
+
+// --- epoch-engine tracking replay (sim.ReplayTracker) ---------------------
+//
+// The epoch engine replays repeat accesses of L1-resident lines without the
+// full access path. When such a replay crosses into a newer speculative
+// region, the only hook effect the full path would have is the tracking
+// phase — the conflict probe is a no-op by the L1-residency argument (see
+// sim.ReplayTracker) — so the engine calls straight into the same tracking
+// functions the access hook uses. Aborts they raise (capacity, ASF1
+// frozen-set) are identical to the full path's by construction.
+
+// TrackableLoad implements sim.ReplayTracker.
+func (u *Unit) TrackableLoad() bool { return u.active }
+
+// TrackableStore implements sim.ReplayTracker.
+func (u *Unit) TrackableStore() bool { return u.active }
+
+// Idle implements sim.ReplayTracker.
+func (u *Unit) Idle() bool { return !u.active }
+
+// TrackLoad implements sim.ReplayTracker.
+func (u *Unit) TrackLoad(line mem.Addr) { u.trackRead(line) }
+
+// TrackStore implements sim.ReplayTracker.
+func (u *Unit) TrackStore(line mem.Addr) { u.trackWrite(line) }
 
 // --- tracking (called from the access hook, turn held) --------------------
 
 func (u *Unit) trackRead(line mem.Addr) {
 	p := u.sys.protFor(line)
-	bit := uint32(1) << uint(u.c.ID())
+	bit := uint64(1) << uint(u.c.ID())
 	if p.readers&bit != 0 || int(p.writer) == u.c.ID() {
 		return // already protected by this region
 	}
 	if u.sys.variant.ASF1 && u.writeCount > 0 {
 		// ASF1 (§6): the protected set is frozen once the atomic phase
 		// (first speculative store) has begun.
-		u.sys.maybeRelease(line, p)
 		u.c.RaiseAbort(sim.AbortDisallowed, 0)
 	}
 	if u.sys.variant.L1ReadSet {
 		if !u.sys.m.Hier.SetSpecRead(u.c.ID(), line, true) {
-			u.sys.maybeRelease(line, p)
 			u.c.RaiseAbortAt(sim.AbortCapacity, 0, line)
 		}
-		u.readSet[line] = struct{}{}
+		u.readSet[line] = p
 	} else {
 		if len(u.llb) == cap(u.llb) {
-			u.sys.maybeRelease(line, p)
 			u.c.RaiseAbortAt(sim.AbortCapacity, 0, line)
 		}
-		u.llb = append(u.llb, llbEntry{line: line})
+		u.llb = append(u.llb, llbEntry{line: line, p: p})
 		u.sys.met.llbHigh.High(u.c.ID(), uint64(len(u.llb)))
 	}
 	p.readers |= bit
@@ -372,13 +403,12 @@ func (u *Unit) trackRead(line mem.Addr) {
 
 func (u *Unit) trackWrite(line mem.Addr) {
 	p := u.sys.protFor(line)
-	bit := uint32(1) << uint(u.c.ID())
+	bit := uint64(1) << uint(u.c.ID())
 	if int(p.writer) == u.c.ID() {
 		return // already in the write set
 	}
 	if u.sys.variant.ASF1 && u.writeCount > 0 && p.readers&bit == 0 {
 		// ASF1: no new protected lines after the atomic phase starts.
-		u.sys.maybeRelease(line, p)
 		u.c.RaiseAbort(sim.AbortDisallowed, 0)
 	}
 	if u.sys.variant.CacheBased {
@@ -396,10 +426,9 @@ func (u *Unit) trackWrite(line mem.Addr) {
 	if e == nil {
 		if u.writeCount >= u.sys.variant.LLBEntries ||
 			(!u.sys.variant.L1ReadSet && len(u.llb) == cap(u.llb)) {
-			u.sys.maybeRelease(line, p)
 			u.c.RaiseAbortAt(sim.AbortCapacity, 0, line)
 		}
-		u.llb = append(u.llb, llbEntry{line: line})
+		u.llb = append(u.llb, llbEntry{line: line, p: p})
 		u.sys.met.llbHigh.High(u.c.ID(), uint64(len(u.llb)))
 		e = &u.llb[len(u.llb)-1]
 	}
@@ -423,9 +452,8 @@ func (u *Unit) trackWrite(line mem.Addr) {
 // the line's speculative mark lives in L1 (so displacement aborts), and
 // the pre-transaction data is backed up for rollback — the write-back to a
 // backup location §2.3 describes for dirty lines.
-func (u *Unit) trackWriteCache(line mem.Addr, p *protState, bit uint32) {
+func (u *Unit) trackWriteCache(line mem.Addr, p *protState, bit uint64) {
 	if !u.sys.m.Hier.SetSpecRead(u.c.ID(), line, true) {
-		u.sys.maybeRelease(line, p)
 		u.c.RaiseAbortAt(sim.AbortCapacity, 0, line)
 	}
 	var backup [mem.WordsPerLine]mem.Word

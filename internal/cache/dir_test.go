@@ -21,12 +21,12 @@ func TestDirTableGrowthPreservesState(t *testing.T) {
 			t.Fatalf("line %v: fresh state = %+v, want neutral", line, *s)
 		}
 		s.owner = int8(i % 8)
-		s.holders = uint32(i)
+		s.holders = uint64(i)
 	}
 	for i := 0; i < n; i++ {
 		line := mem.Addr(i * mem.LineSize)
 		s := d.getOrInsert(line)
-		if s.owner != int8(i%8) || s.holders != uint32(i) {
+		if s.owner != int8(i%8) || s.holders != uint64(i) {
 			t.Fatalf("line %v: state after growth = %+v, want {holders:%d owner:%d}",
 				line, *s, i, i%8)
 		}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"asfstack/internal/sim"
 )
 
 // Options configures how an experiment schedules its cells.
@@ -30,6 +32,14 @@ type Options struct {
 	// (the asfbench -profile flag); the txprof experiment records
 	// unconditionally. Off by default.
 	Profile bool
+	// Engine selects the simulator execution engine for every cell (the
+	// asfbench -engine flag). Cell sim sections are byte-identical for
+	// either engine; only host time and the host-side engine counters
+	// differ.
+	Engine sim.Engine
+	// EpochLen overrides the epoch length for the epoch engine (0 keeps
+	// the default).
+	EpochLen uint64
 
 	// sink, when non-nil, receives every cell's report in cell order
 	// (RunReport installs it).
@@ -123,8 +133,9 @@ func runCells(cells []cell, o Options) error {
 				wall := time.Since(start)
 				host := wall.Round(time.Millisecond)
 				rep := &CellReport{
-					Label: strings.TrimRight(c.label, " "),
-					Sim:   rec.sim,
+					Label:  strings.TrimRight(c.label, " "),
+					Sim:    rec.sim,
+					Engine: rec.engine,
 					Host: CellHost{
 						WallMS:  float64(wall.Microseconds()) / 1e3,
 						QueueMS: float64(queued.Microseconds()) / 1e3,

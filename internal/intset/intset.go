@@ -48,6 +48,12 @@ type Config struct {
 	// Profile installs the transaction-level flight recorder and harvests
 	// its profile into Result.Profile. Off by default.
 	Profile bool
+	// Engine selects the simulator execution engine (serial or epoch);
+	// results are bit-identical either way, only host time differs.
+	Engine sim.Engine
+	// EpochLen overrides the epoch length for the epoch engine (0 keeps
+	// the default).
+	EpochLen uint64
 }
 
 // Result carries the measurements a run produces.
@@ -71,6 +77,9 @@ type Result struct {
 	// Profile is the flight-recorder snapshot when Config.Profile was set
 	// (and the runtime supports profiling); nil otherwise.
 	Profile *txprof.Profile
+	// EngineStats is the epoch engine's host-side activity for the measured
+	// phase; all zeros under the serial engine.
+	EngineStats sim.EngineStats
 }
 
 // Throughput returns transactions per microsecond at the simulated clock
@@ -130,10 +139,12 @@ func Run(cfg Config) (Result, error) {
 		cfg.Seed = 42
 	}
 	s := asfstack.New(asfstack.Options{
-		Cores:   cfg.Threads,
-		Runtime: cfg.Runtime,
-		Seed:    cfg.Seed,
-		Profile: cfg.Profile,
+		Cores:    cfg.Threads,
+		Runtime:  cfg.Runtime,
+		Seed:     cfg.Seed,
+		Profile:  cfg.Profile,
+		Engine:   cfg.Engine,
+		EpochLen: cfg.EpochLen,
 	})
 
 	var set setIface
@@ -199,5 +210,6 @@ func Run(cfg Config) (Result, error) {
 		res.TraceStart = start
 	}
 	res.Profile = s.TxProfile()
+	res.EngineStats = s.M.EngineStats()
 	return res, nil
 }

@@ -90,6 +90,14 @@ func Matrix() []RuntimeConfig {
 		// uninstrumented-last-member path.
 		{Label: "Cohorts", Stack: "Cohorts", Isolation: IsolationWeak},
 		{Label: "Cohorts-turbo", Stack: "Cohorts-turbo", Isolation: IsolationWeak},
+		// The adaptive selector switches among the four families above
+		// mid-run behind its drain gate; its envelope is the union of its
+		// inner modes', i.e. weak. The row exists to pin the gate itself:
+		// a runtime switch draining mid-epoch (under the epoch-speculative
+		// sim engine) must never observe state a serial execution would
+		// not — the cross-engine identity tests run this column under both
+		// engines.
+		{Label: "Adaptive-8", Stack: "Adaptive-8", Isolation: IsolationWeak},
 	}
 }
 
@@ -107,6 +115,13 @@ type ExploreOptions struct {
 	// MaxViolations stops the run early once this many envelope violations
 	// are collected (0 means DefaultMaxViolations).
 	MaxViolations int
+	// Engine selects the simulator execution engine. Outcomes are
+	// bit-identical across engines — the cross-engine conformance rows pin
+	// exactly that.
+	Engine sim.Engine
+	// EpochLen overrides the epoch length for the epoch engine (0 keeps
+	// the default).
+	EpochLen uint64
 }
 
 // DefaultNoise is large enough to reorder operations across cores (cache
@@ -237,6 +252,10 @@ func Explore(t *Test, rc RuntimeConfig, opts ExploreOptions) *Result {
 	cfg := sim.Barcelona(n)
 	cfg.Seed = opts.Seed
 	cfg.SchedNoise = opts.Noise
+	cfg.Engine = opts.Engine
+	if opts.EpochLen != 0 {
+		cfg.EpochLen = opts.EpochLen
+	}
 
 	// The flight recorder is always on under exploration: Record costs no
 	// simulated cycles, and a violating iteration's dump — reset at each
@@ -297,6 +316,11 @@ func Explore(t *Test, rc RuntimeConfig, opts ExploreOptions) *Result {
 		bodies[i] = func(c *sim.CPU) {
 			c.Cycles(stag[i])
 			inner(c)
+			// Mirror Stack.Parallel's thread-exit idle hint: a finished
+			// thread must retract any lazy liveness it announced (the
+			// adaptive runtime's drain gate spins on it), or a concurrent
+			// runtime switch on another core waits forever for this one.
+			c.IdleHint()
 		}
 	}
 	reset := func(c *sim.CPU) {

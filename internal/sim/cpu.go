@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 
 	"asfstack/internal/mem"
 )
@@ -30,12 +29,11 @@ type CPU struct {
 	id int
 	m  *Machine
 
-	// Scheduling. The turn token is handed directly from core to core
-	// through slot; work is the persistent worker goroutine's inbox.
+	// Scheduling. yield suspends this core's coroutine back to the Run
+	// driver, which resumes whichever core was granted the turn.
 	// leaseKey bounds the core's run-ahead: it may keep the turn while
 	// its own packed (clock<<coreBits|id) key stays below it (see sim.go).
-	slot      chan struct{}
-	work      chan func()
+	yield     func(struct{}) bool
 	leaseKey  uint64
 	holding   bool
 	checkedIn bool
@@ -69,6 +67,19 @@ type CPU struct {
 	// Initialised to an unaligned sentinel that no page address equals.
 	presentPage mem.Addr
 
+	// Epoch-speculative engine state (engine.go); win is nil under the
+	// serial engine, making every fast-path test one pointer compare.
+	// specGen is the core's speculation generation: bumped by every
+	// speculative-unit operation (SpecOp) and by explicit protection
+	// releases, it timestamps access windows whose hook-no-op proof
+	// depends on unchanged ASF protection state.
+	win        []winEntry
+	tracker    ReplayTracker
+	specGen    uint32
+	epochEnd   uint64
+	replayFail bool // a replay just failed revalidation (wasted-work attribution)
+	estats     EngineStats
+
 	// Accounting.
 	cat      Category
 	counters [NumCategories]uint64
@@ -89,8 +100,6 @@ func newCPU(m *Machine, id int) *CPU {
 	c := &CPU{
 		id:          id,
 		m:           m,
-		slot:        make(chan struct{}, 1),
-		work:        make(chan func(), 1),
 		presentPage: ^mem.Addr(0), // unaligned: matches no page
 		rng:         rand.New(rand.NewSource(m.cfg.Seed*7919 + int64(id)*104729 + 1)),
 	}
@@ -102,6 +111,10 @@ func newCPU(m *Machine, id int) *CPU {
 	}
 	if m.cfg.TimerInterval > 0 {
 		c.nextTimer = m.cfg.TimerInterval
+	}
+	if m.cfg.Engine == EngineEpoch {
+		c.win = make([]winEntry, winSize)
+		c.epochEnd = m.cfg.EpochLen
 	}
 	return c
 }
@@ -124,6 +137,11 @@ func (c *CPU) Rand() *rand.Rand { return c.rng }
 // SetSpecUnit installs the core's speculative unit (done once at setup).
 func (c *CPU) SetSpecUnit(u SpecUnit) { c.spec = u }
 
+// SetReplayTracker installs the epoch engine's tracking-replay callback
+// (done once at setup, by the ASF system). Nil disables re-tracking;
+// generation-stale windows then always fall back to the full path.
+func (c *CPU) SetReplayTracker(t ReplayTracker) { c.tracker = t }
+
 // SpecUnit returns the installed speculative unit, or nil.
 func (c *CPU) SpecUnit() SpecUnit { return c.spec }
 
@@ -144,15 +162,15 @@ func (c *CPU) acquire() {
 	}
 	m := c.m
 	if !c.checkedIn {
-		// First yield of this Run: report in and wait for the startup
-		// grant (Run collects every core before granting the minimum).
+		// First yield of this Run: push our key and park; the driver
+		// sweeps every core to this point before granting the minimum.
 		c.checkedIn = true
-		m.checkins <- c.id
-		<-c.slot
+		m.heapPush(c.key())
+		c.park()
 		c.holding = true
 		return
 	}
-	// The token is still physically here (hand-off only happens below; no
+	// The turn is still logically here (hand-off only happens below; no
 	// other core has run since our last grant, so the waiting set — and
 	// with it the lease — is unchanged). Run-ahead fast path: if our key
 	// is still below every waiting core's, the engine would re-pick us
@@ -161,8 +179,8 @@ func (c *CPU) acquire() {
 		c.holding = true
 		return
 	}
-	// Lease expired: join the waiting set and hand the token to the new
-	// earliest core, then park until it comes back.
+	// Lease expired: join the waiting set, grant the new earliest core,
+	// and suspend until the turn rotates back.
 	next := m.heapPushPop(c.key())
 	if next&coreMask == uint64(c.id) {
 		// Defensive: the lease expired, so our key is >= the heap top and
@@ -177,19 +195,19 @@ func (c *CPU) acquire() {
 		return
 	}
 	m.grant(next)
-	// Optimistic spin-free yield: in a steady rotation every other core
-	// takes its turn and the token comes back while this goroutine is
-	// still runnable. One Gosched lets that happen; the recv then finds
-	// the token already buffered and never parks, and the corresponding
-	// send never had to wake anyone. Irregular schedules fall through to
-	// an ordinary blocking recv after the single yield.
-	select {
-	case <-c.slot:
-	default:
-		runtime.Gosched()
-		<-c.slot
-	}
+	c.park()
 	c.holding = true
+}
+
+// errRunStopped unwinds a parked coroutine whose Run driver tore down early
+// (defensive; never on the normal path, where every body runs to completion).
+var errRunStopped = fmt.Errorf("sim: Run stopped")
+
+// park suspends the core's coroutine; the driver resumes the granted core.
+func (c *CPU) park() {
+	if !c.yield(struct{}{}) {
+		panic(errRunStopped)
+	}
 }
 
 // endOp relinquishes the turn logically. The token stays with the core; the
@@ -200,7 +218,7 @@ func (c *CPU) endOp() {
 	c.holding = false
 }
 
-// runBody executes one Run's thread body on the worker goroutine and
+// runBody executes one Run's thread body on the core's coroutine and
 // performs finish bookkeeping: the finishing core takes its turn like any
 // other yield (so the waiting-set minimum stays well defined), retires
 // itself, and passes the token on — or signals Run when it was the last.
@@ -211,27 +229,25 @@ func (c *CPU) runBody(body func(*CPU)) {
 
 func (c *CPU) finish() {
 	r := recover()
+	c.holding = false
+	c.running = false
+	if r == errRunStopped {
+		// Defensive teardown by the Run driver: no bookkeeping, the
+		// machine is being abandoned.
+		return
+	}
 	c.flushCycles()
 	m := c.m
-	if !c.checkedIn {
-		// The body performed no globally ordered operation (or died
-		// before its first); check in so the startup barrier completes,
-		// and wait for the turn to retire under it.
-		c.checkedIn = true
-		m.checkins <- c.id
-		<-c.slot
-	}
-	// The token is here: either the lease kept it, or it was never handed
-	// off after the last endOp (hand-off happens at acquire, and there was
-	// no next acquire).
 	if r != nil && m.failure == nil {
 		m.failure = fmt.Sprintf("core %d: %v", c.id, r)
 	}
-	c.holding = false
-	c.running = false
 	m.runnable--
-	if m.runnable == 0 {
-		m.done <- struct{}{}
+	// A body that performed no globally ordered operation (or died before
+	// its first) retires during the startup sweep, before the first grant:
+	// it touched no shared state, so it never needs a turn. Otherwise the
+	// turn is here — either the lease kept it, or it was never handed off
+	// after the last endOp — and retiring passes it to the earliest waiter.
+	if m.collecting || m.runnable == 0 {
 		return
 	}
 	m.grant(m.heapPop())
@@ -461,19 +477,40 @@ func (c *CPU) IdleHint() {
 // RELEASE bookkeeping) atomically at the current time while holding the
 // global turn. Pending asynchronous aborts are delivered first, so a COMMIT
 // racing with a conflict abort observes the abort, never a late commit.
+//
+// Every SpecOp advances the core's speculation generation: region
+// transitions are the only events that change this core's own ASF
+// protection state, so the bump conservatively expires every access window
+// whose replay proof depends on that state (see engine.go).
 func (c *CPU) SpecOp(cost uint64, fn func()) {
 	c.flushCycles()
 	c.acquire()
 	c.checkOSEvents()
+	c.specGen++
 	c.charge(cost)
 	fn()
 	c.endOp()
 }
 
+// BumpSpecGen expires the core's ASF-dependent access windows. Speculative
+// units must call it from any protection-state change that does not pass
+// through SpecOp (early release of individual lines).
+func (c *CPU) BumpSpecGen() { c.specGen++ }
+
 func (c *CPU) access(a mem.Addr, f Flags) mem.Word {
 	c.flushCycles()
 	c.acquire()
 	c.checkOSEvents()
+	if c.win != nil {
+		if c.now >= c.epochEnd {
+			c.closeEpoch()
+		}
+		if f&FWatch == 0 {
+			if v, ok := c.replayLoad(a, f); ok {
+				return v
+			}
+		}
+	}
 	c.beforeAccess(a, false)
 	if c.m.hook != nil {
 		c.m.hook(c, a, f|FPre)
@@ -486,6 +523,9 @@ func (c *CPU) access(a mem.Addr, f Flags) mem.Word {
 	var v mem.Word
 	if f&FWatch == 0 {
 		v = c.m.Mem.Load(a)
+		if c.win != nil && c.pendingAbort == AbortNone {
+			c.seedWindow(a, f, false, res.Cycles)
+		}
 	}
 	c.endOp()
 	return v
@@ -495,6 +535,14 @@ func (c *CPU) accessStore(a mem.Addr, v mem.Word, f Flags) {
 	c.flushCycles()
 	c.acquire()
 	c.checkOSEvents()
+	if c.win != nil {
+		if c.now >= c.epochEnd {
+			c.closeEpoch()
+		}
+		if f&FWatch == 0 && c.replayStore(a, v, f) {
+			return
+		}
+	}
 	c.beforeAccess(a, true)
 	if c.m.hook != nil {
 		c.m.hook(c, a, f|FPre) // conflict resolution before line movement
@@ -513,8 +561,182 @@ func (c *CPU) accessStore(a mem.Addr, v mem.Word, f Flags) {
 	}
 	if f&FWatch == 0 {
 		c.m.Mem.Store(a, v)
+		if c.win != nil && c.pendingAbort == AbortNone {
+			c.seedWindow(a, f, true, res.Cycles)
+		}
 	}
 	c.endOp()
+}
+
+// --- epoch-engine fast path (see engine.go for the soundness argument) ---
+
+// replayLoad attempts to service a load through the core's shadow plane.
+// On success the access is complete (turn released) and the loaded word is
+// returned; on failure nothing observable has changed and the caller falls
+// through to the full path.
+func (c *CPU) replayLoad(a mem.Addr, f Flags) (mem.Word, bool) {
+	line := a.Line()
+	w := &c.win[uint64(line>>mem.LineShift)&winMask]
+	cp := capPlainLoad
+	if f&FLocked != 0 {
+		cp = capLockedLoad
+	}
+	if w.line != line || w.caps&cp == 0 {
+		return 0, false // nothing speculated for this (line, class)
+	}
+	retrack := false
+	if cp&capGenDep != 0 && w.gen != c.specGen {
+		// Generation-stale locked load: the tracking hook of the full
+		// path would re-insert the line into the (new) active region's
+		// read set. With a tracker installed that insertion is replayable
+		// directly; without one — or outside a region — fall back.
+		if c.tracker == nil || !c.tracker.TrackableLoad() {
+			c.mispredict(w)
+			return 0, false
+		}
+		retrack = true
+	}
+	lat, ok := c.m.Hier.ReplayHit(c.id, w.lref, line, false, w.pref, a.Page())
+	if !ok {
+		c.mispredictHard(w)
+		return 0, false
+	}
+	c.estats.Hits++
+	c.charge(lat)
+	if retrack {
+		// Refresh the generation for the load capability alone: any store
+		// capability was proven under the old region and must re-prove.
+		w.caps = (w.caps &^ capGenDep) | capLockedLoad
+		w.gen = c.specGen
+		// May abort (capacity, ASF1) exactly like the full path's
+		// tracking hook — after the latency charge, before the data read.
+		c.tracker.TrackLoad(line)
+	}
+	v := c.m.Mem.Load(a)
+	c.endOp()
+	return v, true
+}
+
+// replayStore is replayLoad's store twin; true means the store retired.
+func (c *CPU) replayStore(a mem.Addr, v mem.Word, f Flags) bool {
+	line := a.Line()
+	w := &c.win[uint64(line>>mem.LineShift)&winMask]
+	cp := capPlainStore
+	if f&FLocked != 0 {
+		cp = capLockedStore
+	}
+	if w.line != line || w.caps&cp == 0 {
+		return false
+	}
+	// Both store capabilities are generation-gated: a locked window must
+	// repeat inside the region that built it, and a plain window was
+	// seeded with no region active — a generation match proves that still
+	// holds, so the colocation-exception branch of the tracking hook
+	// stays dead. A stale window can still replay through the tracker:
+	// a locked store by re-inserting into the new region's write set, a
+	// plain store by proving no region is active (its hook is then empty;
+	// the dirty bit the replay requires already rules out every foreign
+	// protection the conflict probe could act on).
+	retrack := false
+	if w.gen != c.specGen {
+		switch {
+		case cp == capLockedStore && c.tracker != nil && c.tracker.TrackableStore():
+			retrack = true
+		case cp == capPlainStore && c.tracker != nil && c.tracker.Idle():
+		default:
+			c.mispredict(w)
+			return false
+		}
+	}
+	lat, ok := c.m.Hier.ReplayHit(c.id, w.lref, line, true, w.pref, a.Page())
+	if !ok {
+		c.mispredictHard(w)
+		return false
+	}
+	c.estats.Hits++
+	c.charge(lat)
+	if w.gen != c.specGen {
+		w.caps = (w.caps &^ capGenDep) | cp
+		w.gen = c.specGen
+	}
+	if retrack {
+		c.tracker.TrackStore(line) // may abort, like the full path's hook
+	}
+	c.m.Mem.Store(a, v)
+	c.endOp()
+	return true
+}
+
+// mispredict records a generation mispredict: the ASF-dependent
+// capabilities are stale but the line references may still be good, so
+// only the generation-dependent capabilities are dropped. The full-path
+// re-execution that follows attributes its cycles to WastedCycles.
+func (c *CPU) mispredict(w *winEntry) {
+	c.estats.Rollbacks++
+	c.replayFail = true
+	w.caps &^= capGenDep
+}
+
+// mispredictHard drops the whole window: the line itself moved (evicted,
+// invalidated, or flushed), so no capability survives.
+func (c *CPU) mispredictHard(w *winEntry) {
+	c.estats.Rollbacks++
+	c.replayFail = true
+	*w = winEntry{}
+}
+
+// seedWindow records a completed full-path access in the line's window so
+// repeats can replay it, merging its capability into whatever the window
+// already proves. Called with the turn held, after the access retired
+// without aborting.
+func (c *CPU) seedWindow(a mem.Addr, f Flags, write bool, cost uint64) {
+	if c.replayFail {
+		c.replayFail = false
+		c.estats.WastedCycles += cost
+	}
+	var cp uint8
+	switch {
+	case !write && f&FLocked == 0:
+		cp = capPlainLoad
+	case !write:
+		cp = capLockedLoad
+	case f&FLocked != 0:
+		cp = capLockedStore
+	default:
+		// A plain store inside an active region can raise the colocation
+		// exception or hoist the line into the write set on any repeat;
+		// only store windows built outside regions are provably no-ops.
+		if c.spec != nil && c.spec.Active() {
+			return
+		}
+		cp = capPlainStore
+	}
+	line := a.Line()
+	lref := c.m.Hier.L1Ref(c.id, line)
+	if lref == nil {
+		return // immediately displaced by its own fill: not replayable
+	}
+	w := &c.win[uint64(line>>mem.LineShift)&winMask]
+	if w.line != line {
+		*w = winEntry{line: line}
+	}
+	if w.gen != c.specGen {
+		w.caps &^= capGenDep
+		w.gen = c.specGen
+	}
+	// The line reference is refreshed on every seed: the line may have
+	// moved ways since the window was built. The TLB reference is seeded
+	// by translated accesses only; stores keep any load-seeded one (live
+	// revalidation covers it).
+	w.lref = lref
+	if !write || c.m.cfg.Cache.StoresUseTLB {
+		pref := c.m.Hier.TLB1Ref(c.id, a.Page())
+		if pref == nil {
+			return
+		}
+		w.pref = pref
+	}
+	w.caps |= cp
 }
 
 // beforeAccess handles demand paging. A page fault inside a speculative

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"fmt"
+
+	"asfstack/internal/cache"
+	"asfstack/internal/mem"
+)
+
+// Engine selects how the simulator executes the globally ordered operation
+// stream. Both engines produce bit-identical simulated results — same
+// cycle counts, cache statistics, metrics, traces, and abort histories —
+// for any configuration; they differ only in host-side cost.
+//
+// # EngineSerial
+//
+// The baseline from PR 3: every memory operation rendezvouses with the
+// global turn token and executes the full timing model (TLB lookup, cache
+// array scans, coherence directory, ASF access hooks, demand-paging check).
+//
+// # EngineEpoch
+//
+// The epoch-speculative engine. Each core keeps a private shadow plane of
+// *access windows*: small per-line records seeded by full-path accesses,
+// each capturing direct pointers into the core's L1 and L1-TLB arrays plus
+// the access class that built it. While a window stays valid, repeat
+// accesses to its line are serviced by a speculative fast path that replays
+// exactly the architectural state changes the full path would make for a
+// guaranteed L1 hit — the global LRU tick, the L1 and TLB recency stamps,
+// the per-core load/store/L1-hit counters, and the L1 latency charge — while
+// skipping the work the window proves to be a no-op: the TLB and cache-array
+// scans, the coherence-directory lookup, both ASF hook dispatches, and the
+// page-presence check.
+//
+// The proof obligations are discharged by live revalidation rather than by
+// buffering and merging deltas:
+//
+//   - The cache and TLB arrays are allocated once and never reallocated, so
+//     a window can hold pointers to their entries. A window replays only if
+//     its L1 entry is still valid and still holds the window's line; any
+//     eviction, invalidation, flush, or ASF Drop zeroes or retags the entry
+//     and the window dies by inspection. No cross-core invalidation hook is
+//     needed.
+//   - Store windows additionally require the L1 entry's dirty bit. Dirty
+//     implies the line is exclusively owned by this core (the upgrade that
+//     set it invalidated all other copies; any later foreign access would
+//     have cleared it), so the directory writes the full path would perform
+//     are idempotent and the coherence-probe hook phase has no foreign
+//     protection to act on.
+//   - ASF-visible classes (locked accesses, and plain stores which can
+//     raise the colocation exception inside a region) carry the core's
+//     speculation generation, bumped on every speculative-unit operation
+//     (SPECULATE/COMMIT/ABORT/RELEASE all funnel through CPU.SpecOp). A
+//     generation match proves the access repeats inside the same region
+//     with the same protections, where the ASF tracking hooks are
+//     early-return no-ops.
+//
+// Because a replay performs the identical state writes with identical
+// values, the shadow plane never needs an epoch-boundary merge: there is
+// nothing to reconcile. Epochs instead bound the lifetime of the shadow
+// plane itself — at each epoch boundary the core discards all windows
+// (an epoch commit) and reseeds from full-path truth. The epoch length is
+// therefore a pure host-performance knob: simulated results are identical
+// for every EpochLen, which the determinism suite asserts.
+type Engine uint8
+
+const (
+	// EngineSerial is the default full-path engine.
+	EngineSerial Engine = iota
+	// EngineEpoch enables the epoch-speculative access-window fast path.
+	EngineEpoch
+)
+
+// String returns the engine's flag spelling ("serial", "epoch").
+func (e Engine) String() string {
+	switch e {
+	case EngineSerial:
+		return "serial"
+	case EngineEpoch:
+		return "epoch"
+	default:
+		return fmt.Sprintf("engine(%d)", uint8(e))
+	}
+}
+
+// ParseEngine converts a flag spelling to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "serial", "":
+		return EngineSerial, nil
+	case "epoch":
+		return EngineEpoch, nil
+	default:
+		return EngineSerial, fmt.Errorf("sim: unknown engine %q (want serial or epoch)", s)
+	}
+}
+
+// DefaultEpochLen is the epoch length (in simulated cycles) used when
+// Config.EpochLen is zero: long enough that the per-boundary window flush
+// is noise, short enough that a stalled workload reseeds promptly.
+const DefaultEpochLen = 100_000
+
+// Window-table geometry: direct-mapped by line address. 1024 entries —
+// twice the line capacity of a 64 KB L1 — so two resident lines sharing an
+// L1 set usually land in distinct windows; aliasing between hot lines only
+// costs reseeds, never correctness.
+const (
+	winBits = 10
+	winSize = 1 << winBits
+	winMask = winSize - 1
+)
+
+// Window capabilities. Each access class carries its own no-op proof for
+// the ASF hook phase, so a window records per-class capability bits: a
+// repeat access replays only under a capability its own class seeded.
+// Capabilities accumulate in one window per line — the common
+// read-modify-write pattern (load then store of the same word) earns both
+// the load and store capability and replays both halves.
+const (
+	capPlainLoad uint8 = 1 << iota
+	capLockedLoad
+	capPlainStore
+	capLockedStore
+)
+
+// capGenDep marks the capabilities whose proof depends on unchanged ASF
+// protection state; they expire when the core's speculation generation
+// moves. Plain loads are generation-independent: their hook phases are
+// no-ops under every protection state the line's L1 residency permits.
+const capGenDep = capLockedLoad | capPlainStore | capLockedStore
+
+// ReplayTracker lets the epoch engine service generation-stale windows by
+// replaying the tracking-phase hook effect directly instead of falling back
+// to the full path. The ASF system installs one per core (CPU.SetReplayTracker).
+//
+// The soundness argument leans on live revalidation: a window only replays
+// when its line is still valid in the core's L1 (dirty, for stores). That
+// residency proves the conflict-probe hook phase is a no-op — any foreign
+// speculative writer's upgrade would have invalidated this copy, and a
+// write replay's dirty bit additionally rules out foreign readers — so the
+// only remaining full-path hook effect is the tracking phase:
+//
+//   - a locked load in a newer region must re-insert the line into that
+//     region's read set (TrackLoad);
+//   - a locked store must re-insert into the write set, backing up the
+//     pre-image (TrackStore);
+//   - a plain access with no region active tracks nothing (Idle).
+//
+// Track calls may abort the region (capacity, ASF1 frozen-set) — they raise
+// exactly the aborts the full path's tracking hook would, at the same point
+// in the access (after the latency charge).
+type ReplayTracker interface {
+	// TrackableLoad reports whether a generation-stale locked-load window
+	// may replay by re-tracking (a region is active on this core).
+	TrackableLoad() bool
+	// TrackableStore is TrackableLoad for locked stores.
+	TrackableStore() bool
+	// Idle reports that no region is active, so a plain access has no
+	// tracking-phase effect and a stale plain-store window may replay.
+	Idle() bool
+	// TrackLoad replays the tracking hook of a locked load: insert line
+	// into the active region's read set. May raise the same synchronous
+	// aborts the full path would.
+	TrackLoad(line mem.Addr)
+	// TrackStore replays the tracking hook of a locked store.
+	TrackStore(line mem.Addr)
+}
+
+// winEntry is one access window: the shadow record that lets repeat
+// accesses of line skip the full timing-model path.
+type winEntry struct {
+	line mem.Addr
+	lref cache.LineRef
+	pref cache.PageRef // TLB entry; seeded by loads (stores skip the TLB)
+	gen  uint32        // speculation generation the gen-dependent caps were seeded under
+	caps uint8
+}
+
+// EngineStats counts epoch-engine activity on one core (or, aggregated by
+// Machine.EngineStats, the whole machine). All counters are host-side
+// observability: they never feed back into simulated state.
+type EngineStats struct {
+	// Commits counts epoch boundaries: each one retires the core's shadow
+	// plane wholesale and starts reseeding.
+	Commits uint64
+	// Rollbacks counts mis-speculations: replay attempts that found a
+	// window for the accessed line but failed revalidation (the line moved,
+	// lost its dirty bit, or the region generation changed), forcing the
+	// access back onto the full path.
+	Rollbacks uint64
+	// WastedCycles sums the simulated cycles charged by the full-path
+	// re-execution of rolled-back accesses — the work the speculation
+	// failed to save, in the units the PR 7 wasted-work accounting uses.
+	WastedCycles uint64
+	// Hits counts accesses serviced by the speculative fast path.
+	Hits uint64
+}
+
+// add accumulates o into s.
+func (s *EngineStats) add(o EngineStats) {
+	s.Commits += o.Commits
+	s.Rollbacks += o.Rollbacks
+	s.WastedCycles += o.WastedCycles
+	s.Hits += o.Hits
+}
+
+// EngineStats aggregates the per-core epoch-engine counters. Zero for the
+// serial engine. Only coherent between Run calls, like all statistics.
+func (m *Machine) EngineStats() EngineStats {
+	var t EngineStats
+	for _, c := range m.cpus {
+		t.add(c.estats)
+	}
+	return t
+}
+
+// closeEpoch retires the core's shadow plane at an epoch boundary: every
+// window is discarded and the next boundary is scheduled on the fixed
+// epoch grid. Reaching a boundary is the epoch "commit" — since replays
+// write ground truth directly, retiring the plane is a flush, not a merge.
+func (c *CPU) closeEpoch() {
+	c.estats.Commits++
+	for i := range c.win {
+		c.win[i] = winEntry{}
+	}
+	step := c.m.cfg.EpochLen
+	for c.epochEnd <= c.now {
+		c.epochEnd += step
+	}
+}
+
+// resetEpoch realigns the epoch grid after an externally imposed clock jump
+// (SyncClocks) and discards windows seeded in the previous phase.
+func (c *CPU) resetEpoch() {
+	if c.win == nil {
+		return
+	}
+	for i := range c.win {
+		c.win[i] = winEntry{}
+	}
+	c.epochEnd = c.now + c.m.cfg.EpochLen
+}

@@ -7,23 +7,27 @@
 //
 // # Execution model
 //
-// Each simulated core runs its thread body on a persistent worker goroutine.
-// Every memory operation is globally ordered: the core with the smallest
-// local cycle clock (ties broken by core id) performs exactly one operation
-// against the shared simulator state, advances its clock by the operation's
-// latency, and yields. Because at most one core ever holds the turn token,
-// all simulator state is single-threaded and runs are bit-for-bit
-// reproducible for a given seed.
+// Each simulated core runs its thread body inside a coroutine (iter.Pull);
+// the goroutine that called Run drives them. Every memory operation is
+// globally ordered: the core with the smallest local cycle clock (ties
+// broken by core id) performs exactly one operation against the shared
+// simulator state, advances its clock by the operation's latency, and
+// yields. Because at most one core ever holds the turn, all simulator state
+// is single-threaded and runs are bit-for-bit reproducible for a given seed.
 //
-// The turn is not brokered by a central engine goroutine. Instead the token
-// is handed directly from core to core: each grant carries a *run-ahead
-// lease* — "run until your clock reaches the earliest waiting core's clock"
-// — taken from an index min-heap of waiting cores keyed by (clock, id).
-// While the lease holds, the core would be re-picked on every yield anyway,
-// so it simply keeps executing with no synchronization at all; when the
-// lease expires it pushes itself into the heap, pops the new minimum, and
-// hands the token to that core's hand-off slot. One goroutine switch per
-// rendezvous instead of two, and zero for clock-gap stretches.
+// Scheduling decisions are not brokered by the driver: each grant carries a
+// *run-ahead lease* — "run until your clock reaches the earliest waiting
+// core's clock" — taken from an index min-heap of waiting cores keyed by
+// (clock, id). While the lease holds, the core would be re-picked on every
+// yield anyway, so it simply keeps executing with no synchronization at
+// all; when the lease expires it pushes itself into the heap, pops the new
+// minimum, names that core as the driver's next resume target, and yields.
+// The driver loop is a single indirect call: resume whichever core the last
+// one granted. Hand-offs ride runtime coroutine switches (no channels, no
+// scheduler queues, no parking), which cost a fraction of a goroutine
+// round-trip through the run queue — the dominant host cost at high core
+// counts, where near-lockstep clocks force a hand-off on almost every
+// operation.
 //
 // Pure compute (Exec/Cycles) is batched locally and folded into the clock at
 // the next rendezvous, so simulation cost is proportional to the number of
@@ -37,7 +41,7 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
+	"iter"
 	"sync/atomic"
 
 	"asfstack/internal/cache"
@@ -70,6 +74,16 @@ type Config struct {
 	// measurement runs. Zero (the default) keeps the scheduler purely
 	// clock-driven and byte-identical to previous behaviour.
 	SchedNoise uint64
+
+	// Engine selects the execution engine (see engine.go). Simulated
+	// results are bit-identical across engines; only host cost differs.
+	Engine Engine
+
+	// EpochLen is the epoch length of the epoch-speculative engine, in
+	// simulated cycles; zero means DefaultEpochLen. Ignored by the serial
+	// engine. Results are identical for every value — another pure
+	// host-performance knob.
+	EpochLen uint64
 }
 
 // Barcelona returns the machine configuration used for all measurements in
@@ -109,7 +123,7 @@ func NativeReference(cores int) Config {
 // lexicographic (clock, id) order the engine has always used is exactly
 // numeric order on the packed key.
 const (
-	coreBits = 5
+	coreBits = 6
 	coreMask = (1 << coreBits) - 1
 
 	// leaseFree is the unbounded lease granted when no other core is
@@ -132,15 +146,14 @@ type Machine struct {
 	// per-core liveness can observe the core as quiescent. Set before Run.
 	idleHook func(*CPU)
 
-	// Scheduling state. Guarded by possession of the turn token except
-	// during Run's startup collection, when no core holds it.
-	checkins chan int      // one per core per Run: "I reached my first yield"
-	done     chan struct{} // last finishing core -> Run
-	runnable int
-	heap     []uint64 // packed (clock<<coreBits|id) keys of waiting cores
+	// Scheduling state. Only ever touched single-threaded: by the core
+	// holding the turn, or by the driver between resumes.
+	runnable   int
+	heap       []uint64 // packed (clock<<coreBits|id) keys of waiting cores
+	resume     int      // core id the driver resumes next (set by grant)
+	collecting bool     // Run's startup sweep is in progress; no grants yet
 
-	workersUp bool
-	closed    atomic.Bool
+	closed atomic.Bool
 
 	running atomic.Bool // a Run call is in flight
 
@@ -173,29 +186,30 @@ const (
 	FPre
 )
 
+// MaxCores is the machine-size cap: core ids must fit the packed
+// scheduling keys (coreBits) and the coherence bitmasks (one uint64).
+const MaxCores = 64
+
 // New builds a machine. Thread bodies are supplied to Run.
 func New(cfg Config) *Machine {
-	if cfg.Cores <= 0 || cfg.Cores > 32 {
+	if cfg.Cores <= 0 || cfg.Cores > MaxCores {
 		panic(fmt.Sprintf("sim: bad core count %d", cfg.Cores))
 	}
 	if cfg.IssueWidth <= 0 {
 		cfg.IssueWidth = 3
 	}
+	if cfg.EpochLen == 0 {
+		cfg.EpochLen = DefaultEpochLen
+	}
 	m := &Machine{
-		cfg:      cfg,
-		Mem:      mem.New(),
-		Hier:     cache.New(cfg.Cores, cfg.Cache),
-		checkins: make(chan int, cfg.Cores),
-		done:     make(chan struct{}),
-		heap:     make([]uint64, 0, cfg.Cores),
+		cfg:  cfg,
+		Mem:  mem.New(),
+		Hier: cache.New(cfg.Cores, cfg.Cache),
+		heap: make([]uint64, 0, cfg.Cores),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		m.cpus = append(m.cpus, newCPU(m, i))
 	}
-	// Safety net for machines discarded without Close: idle workers hold
-	// only their inbox channel (not the machine), so an unreachable
-	// machine is collectable and the finalizer shuts its workers down.
-	runtime.SetFinalizer(m, func(m *Machine) { m.Close() })
 	return m
 }
 
@@ -223,11 +237,9 @@ func (m *Machine) CyclesToNanos(cy uint64) float64 {
 	return float64(cy) / float64(m.cfg.ClockHz) * 1e9
 }
 
-// Close shuts down the per-core worker goroutines. The machine cannot Run
-// again afterwards. Idempotent; also invoked by a finalizer when a machine
-// becomes unreachable, so forgetting Close leaks nothing permanently —
-// calling it promptly (the harness does) just frees the workers and the
-// simulated memory sooner.
+// Close marks the machine shut down. The machine cannot Run again
+// afterwards. Idempotent. Coroutines live only inside a Run call, so there
+// is nothing to tear down; Close exists to catch use-after-close bugs.
 func (m *Machine) Close() {
 	if m.closed.Swap(true) {
 		return
@@ -235,38 +247,17 @@ func (m *Machine) Close() {
 	if m.running.Load() {
 		panic("sim: Close while a Run call is in flight")
 	}
-	if m.workersUp {
-		for _, c := range m.cpus {
-			close(c.work)
-		}
-	}
-	runtime.SetFinalizer(m, nil)
-}
-
-// startWorkers lazily spawns one persistent worker goroutine per core on
-// the first Run. The worker loop deliberately captures only the core's
-// inbox channel: while idle it keeps nothing else alive, so an abandoned
-// machine stays collectable (see Close).
-func (m *Machine) startWorkers() {
-	if m.workersUp {
-		return
-	}
-	m.workersUp = true
-	for _, c := range m.cpus {
-		go workerLoop(c.work)
-	}
-}
-
-func workerLoop(work <-chan func()) {
-	for job := range work {
-		job()
-	}
 }
 
 // Run executes one thread body per core (len(bodies) ≤ Cores) to completion
 // and returns the simulated duration in cycles (the maximum core clock).
 // It may be called repeatedly; cores keep their clocks across calls so a
 // setup phase can be run before a measured phase.
+//
+// Run is the scheduler's driver: each body runs inside a coroutine, and the
+// loop below simply resumes whichever core the previous one granted the
+// turn to. All scheduling decisions (heap, leases) happen inside the cores;
+// the driver only supplies the switch points.
 func (m *Machine) Run(bodies ...func(c *CPU)) uint64 {
 	if len(bodies) > len(m.cpus) {
 		panic("sim: more thread bodies than cores")
@@ -276,29 +267,47 @@ func (m *Machine) Run(bodies ...func(c *CPU)) uint64 {
 	}
 	m.running.Store(true)
 	defer m.running.Store(false)
-	m.startWorkers()
 	m.runnable = len(bodies)
 	m.heap = m.heap[:0]
-	for i, body := range bodies {
-		c := m.cpus[i]
-		c.running = true
-		c.holding = false
-		c.checkedIn = false
-		c.leaseKey = 0
-		body := body
-		c.work <- func() { c.runBody(body) }
-	}
 	if len(bodies) > 0 {
-		// Startup barrier: every core checks in exactly once — at its
-		// first operation, or at its finish if the body performs none.
-		// Only then is the minimum well defined and the first turn
-		// granted; from that point the cores schedule themselves.
-		for i := 0; i < len(bodies); i++ {
-			id := <-m.checkins
-			m.heapPush(m.cpus[id].key())
+		nexts := make([]func() (struct{}, bool), len(bodies))
+		stops := make([]func(), len(bodies))
+		for i, body := range bodies {
+			c := m.cpus[i]
+			c.running = true
+			c.holding = false
+			c.checkedIn = false
+			c.leaseKey = 0
+			body := body
+			nexts[i], stops[i] = iter.Pull(func(yield func(struct{}) bool) {
+				c.yield = yield
+				c.runBody(body)
+			})
 		}
-		m.grant(m.heapPop())
-		<-m.done
+		// Defensive teardown: on the normal path every coroutine has
+		// already returned and stop is a no-op; if the driver unwinds
+		// early (a scheduler bug), parked cores get errRunStopped.
+		defer func() {
+			for _, stop := range stops {
+				stop()
+			}
+		}()
+		// Startup barrier: run every core to its first yield — its first
+		// operation (which pushes its key), or its finish if the body
+		// performs none. Only then is the minimum well defined and the
+		// first turn granted; from that point the cores schedule
+		// themselves and the driver just follows the grants.
+		m.collecting = true
+		for i := range bodies {
+			nexts[i]()
+		}
+		m.collecting = false
+		if m.runnable > 0 {
+			m.grant(m.heapPop())
+			for m.runnable > 0 {
+				nexts[m.resume]()
+			}
+		}
 	}
 	if m.failure != nil {
 		f := m.failure
@@ -314,10 +323,10 @@ func (m *Machine) Run(bodies ...func(c *CPU)) uint64 {
 	return maxNow
 }
 
-// grant hands the turn token to the core identified by the packed key,
-// attaching its run-ahead lease: the key of the earliest core left waiting
-// (or leaseFree when none is). The recipient is parked on its slot, so
-// writing its lease before the send is ordered by the channel.
+// grant hands the turn to the core identified by the packed key, attaching
+// its run-ahead lease: the key of the earliest core left waiting (or
+// leaseFree when none is). The grantee runs when the granter yields and the
+// driver resumes it.
 func (m *Machine) grant(key uint64) {
 	c := m.cpus[key&coreMask]
 	if len(m.heap) > 0 {
@@ -325,7 +334,7 @@ func (m *Machine) grant(key uint64) {
 	} else {
 		c.leaseKey = leaseFree
 	}
-	c.slot <- struct{}{}
+	m.resume = c.id
 }
 
 // SyncClocks aligns every core's clock to the latest one — the barrier
@@ -343,6 +352,7 @@ func (m *Machine) SyncClocks() uint64 {
 		if m.cfg.TimerInterval > 0 {
 			c.nextTimer = maxNow + m.cfg.TimerInterval
 		}
+		c.resetEpoch()
 	}
 	return maxNow
 }

@@ -62,6 +62,12 @@ type Config struct {
 	// Profile installs the transaction-level flight recorder and harvests
 	// its profile into Result.Profile. Off by default.
 	Profile bool
+	// Engine selects the simulator execution engine (serial or epoch);
+	// results are bit-identical either way, only host time differs.
+	Engine sim.Engine
+	// EpochLen overrides the epoch length for the epoch engine (0 keeps
+	// the default).
+	EpochLen uint64
 }
 
 // Result carries the measurements of a run.
@@ -85,6 +91,9 @@ type Result struct {
 	// Profile is the flight-recorder snapshot when Config.Profile was set
 	// (and the runtime supports profiling); nil otherwise.
 	Profile *txprof.Profile
+	// EngineStats is the epoch engine's host-side activity for the measured
+	// phase; all zeros under the serial engine.
+	EngineStats sim.EngineStats
 }
 
 // New instantiates an application by name.
@@ -131,6 +140,10 @@ func Run(cfg Config) (Result, error) {
 		mc = sim.NativeReference(cfg.Threads)
 	}
 	mc.Seed = cfg.Seed
+	mc.Engine = cfg.Engine
+	if cfg.EpochLen != 0 {
+		mc.EpochLen = cfg.EpochLen
+	}
 	opts := asfstack.Options{
 		Cores:   cfg.Threads,
 		Runtime: cfg.Runtime,
@@ -166,6 +179,7 @@ func Run(cfg Config) (Result, error) {
 		res.TraceStart = start
 	}
 	res.Profile = s.TxProfile()
+	res.EngineStats = s.M.EngineStats()
 
 	var verr error
 	s.Setup(func(tx tm.Tx) { verr = app.Validate(tx) })
