@@ -26,7 +26,7 @@ verify: build vet test race
 # $(BENCH_SECTION); see EXPERIMENTS.md for the schema). The figure sweeps
 # run once (-benchtime 1x); the noise-sensitive op-rate micro-benchmark is
 # re-run longer and its later lines override the 1x pass.
-BENCH_JSON ?= BENCH_PR9.json
+BENCH_JSON ?= BENCH_PR10.json
 BENCH_SECTION ?= current
 
 bench:

@@ -20,6 +20,7 @@ import (
 	"asfstack/internal/harness"
 	"asfstack/internal/intset"
 	"asfstack/internal/mem"
+	"asfstack/internal/server"
 	"asfstack/internal/sim"
 	"asfstack/internal/stamp"
 	"asfstack/internal/tm"
@@ -129,6 +130,29 @@ func BenchmarkFig5Cell(b *testing.B) {
 			b.ReportMetric(thr, "simtx/us")
 		})
 	}
+}
+
+// BenchmarkServerCell runs one E16 cell — the open-loop server on a
+// two-socket topology at an overload point — and reports the sojourn-time
+// quantiles as benchmark metrics (the bench-json v2 latency units). The
+// quantiles are deterministic for the fixed seed, so benchjson -compare
+// shows them as advisory sim-latency deltas across PRs.
+func BenchmarkServerCell(b *testing.B) {
+	cfg := server.Config{Runtime: "LLB-256", Topology: "2x8",
+		Load: 1.4, Scale: 0.25, Seed: 1, SeedSet: true}
+	var r server.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = server.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.P50, "p50_cyc")
+	b.ReportMetric(r.P95, "p95_cyc")
+	b.ReportMetric(r.P99, "p99_cyc")
+	b.ReportMetric(r.P999, "p999_cyc")
+	b.ReportMetric(r.Throughput(), "simtx/us")
 }
 
 // --- per-workload micro-benchmarks with simulated-metric reporting -------

@@ -76,11 +76,12 @@ func main() {
 		return
 	}
 	if *validatePath != "" {
-		if err := validateReport(*validatePath); err != nil {
+		v, err := validateReport(*validatePath)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "asfbench:", err)
 			os.Exit(2)
 		}
-		fmt.Printf("%s: valid %s v%d\n", *validatePath, harness.ReportSchema, harness.ReportVersion)
+		fmt.Printf("%s: valid %s v%d\n", *validatePath, harness.ReportSchema, v)
 		return
 	}
 	if *format != "text" && *format != "json" {
@@ -233,39 +234,39 @@ func writeTrace(path string, report *harness.BenchReport) error {
 
 // validateReport checks that path holds a well-formed BenchReport of the
 // schema and version this binary understands.
-func validateReport(path string) error {
+func validateReport(path string) (int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var rep harness.BenchReport
 	if err := json.Unmarshal(data, &rep); err != nil {
-		return fmt.Errorf("%s: not valid JSON: %w", path, err)
+		return 0, fmt.Errorf("%s: not valid JSON: %w", path, err)
 	}
 	if rep.Schema != harness.ReportSchema {
-		return fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, harness.ReportSchema)
+		return 0, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, harness.ReportSchema)
 	}
-	if rep.Version != harness.ReportVersion {
-		return fmt.Errorf("%s: version %d, want %d", path, rep.Version, harness.ReportVersion)
+	if rep.Version < 1 || rep.Version > harness.ReportVersion {
+		return 0, fmt.Errorf("%s: version %d, want 1..%d", path, rep.Version, harness.ReportVersion)
 	}
 	if len(rep.Experiments) == 0 {
-		return fmt.Errorf("%s: no experiments", path)
+		return 0, fmt.Errorf("%s: no experiments", path)
 	}
 	for _, e := range rep.Experiments {
 		if e.Name == "" {
-			return fmt.Errorf("%s: experiment with empty name", path)
+			return 0, fmt.Errorf("%s: experiment with empty name", path)
 		}
 		if len(e.Tables) == 0 {
-			return fmt.Errorf("%s: experiment %s has no tables", path, e.Name)
+			return 0, fmt.Errorf("%s: experiment %s has no tables", path, e.Name)
 		}
 		for _, c := range e.Cells {
 			if c.Label == "" {
-				return fmt.Errorf("%s: experiment %s has a cell with no label", path, e.Name)
+				return 0, fmt.Errorf("%s: experiment %s has a cell with no label", path, e.Name)
 			}
 			if c.Err == "" && c.Sim == nil {
-				return fmt.Errorf("%s: experiment %s cell %q has neither sim results nor an error", path, e.Name, c.Label)
+				return 0, fmt.Errorf("%s: experiment %s cell %q has neither sim results nor an error", path, e.Name, c.Label)
 			}
 		}
 	}
-	return nil
+	return rep.Version, nil
 }

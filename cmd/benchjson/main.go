@@ -37,9 +37,14 @@ import (
 	"strings"
 )
 
+// Schema versioning: version 2 added the open-loop latency quantile units
+// (p50_cyc, p95_cyc, p99_cyc, p999_cyc — simulated cycles, deterministic
+// but load-shaped, so -compare reports them as advisory). Readers accept
+// any version in 1..version; sections written by older binaries simply
+// lack the latency units and mixed-schema compares note them one-sided.
 const (
 	schema  = "asfstack/bench-json"
-	version = 1
+	version = 2
 )
 
 // entry is one benchmark's measurements.
@@ -91,11 +96,12 @@ func main() {
 			os.Exit(1)
 		}
 		for _, path := range flag.Args() {
-			if err := checkFile(path); err != nil {
+			v, err := checkFile(path)
+			if err != nil {
 				fmt.Fprintln(os.Stderr, "benchjson:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("%s: valid %s v%d\n", path, schema, version)
+			fmt.Printf("%s: valid %s v%d\n", path, schema, v)
 		}
 		return
 	}
@@ -160,54 +166,60 @@ func main() {
 var deterministicMetrics = []string{"allocs/op", "B/op"}
 
 // checkFile validates one BENCH_*.json document: well-formed JSON of the
-// right schema and version, at least one section, and sane entries. It is
-// the CI guard against hand-edited or truncated baselines.
-func checkFile(path string) error {
+// right schema and an accepted version (1..version), at least one section,
+// and sane entries. It is the CI guard against hand-edited or truncated
+// baselines, and returns the document's own version.
+func checkFile(path string) (int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var d doc
 	if err := json.Unmarshal(data, &d); err != nil {
-		return fmt.Errorf("%s: not valid JSON: %v", path, err)
+		return 0, fmt.Errorf("%s: not valid JSON: %v", path, err)
 	}
 	if d.Schema != schema {
-		return fmt.Errorf("%s: schema %q, want %q", path, d.Schema, schema)
+		return 0, fmt.Errorf("%s: schema %q, want %q", path, d.Schema, schema)
 	}
-	if d.Version != version {
-		return fmt.Errorf("%s: version %d, want %d", path, d.Version, version)
+	if d.Version < 1 || d.Version > version {
+		return 0, fmt.Errorf("%s: version %d, want 1..%d", path, d.Version, version)
 	}
 	if len(d.Sections) == 0 {
-		return fmt.Errorf("%s: no sections", path)
+		return 0, fmt.Errorf("%s: no sections", path)
 	}
 	for name, e := range d.Engines {
 		if e != "serial" && e != "epoch" {
-			return fmt.Errorf("%s: section %q records unknown engine %q", path, name, e)
+			return 0, fmt.Errorf("%s: section %q records unknown engine %q", path, name, e)
 		}
 	}
 	for name, sec := range d.Sections {
 		if len(sec) == 0 {
-			return fmt.Errorf("%s: section %q is empty", path, name)
+			return 0, fmt.Errorf("%s: section %q is empty", path, name)
 		}
 		for bench, e := range sec {
 			if !strings.HasPrefix(bench, "Benchmark") {
-				return fmt.Errorf("%s: section %q: entry %q is not a benchmark name", path, name, bench)
+				return 0, fmt.Errorf("%s: section %q: entry %q is not a benchmark name", path, name, bench)
 			}
 			if e.Iters <= 0 {
-				return fmt.Errorf("%s: section %q: %s: iters = %d", path, name, bench, e.Iters)
+				return 0, fmt.Errorf("%s: section %q: %s: iters = %d", path, name, bench, e.Iters)
 			}
 			if e.NsPerOp < 0 {
-				return fmt.Errorf("%s: section %q: %s: negative ns/op", path, name, bench)
+				return 0, fmt.Errorf("%s: section %q: %s: negative ns/op", path, name, bench)
 			}
 			for unit, v := range e.Metrics {
 				if v < 0 {
-					return fmt.Errorf("%s: section %q: %s: negative %s", path, name, bench, unit)
+					return 0, fmt.Errorf("%s: section %q: %s: negative %s", path, name, bench, unit)
 				}
 			}
 		}
 	}
-	return nil
+	return d.Version, nil
 }
+
+// latencyUnit reports whether a benchmark unit is an open-loop latency
+// quantile (simulated cycles, schema v2). Deterministic for a fixed
+// config, but shaped by offered load — compared as advisory, never gated.
+func latencyUnit(u string) bool { return strings.HasSuffix(u, "_cyc") }
 
 // compareSections prints per-benchmark deltas between two sections of the
 // document at path and reports whether any deterministic metric regressed.
@@ -222,7 +234,7 @@ func compareSections(w io.Writer, path, spec string, allowEngineMismatch bool) (
 		return false, fmt.Errorf("-compare wants SECTION_A,SECTION_B, got %q", spec)
 	}
 	secA, secB := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
-	if err := checkFile(path); err != nil {
+	if _, err := checkFile(path); err != nil {
 		return false, err
 	}
 	data, err := os.ReadFile(path)
@@ -288,8 +300,27 @@ func compareSections(w io.Writer, path, spec string, allowEngineMismatch bool) (
 					verdict = "(deterministic) REGRESSED"
 					regressed = true
 				}
+			} else if latencyUnit(u) {
+				verdict = "(sim latency, advisory)"
 			}
 			fmt.Fprintf(w, "%-45s %-12s %14.2f %14.2f %8.1f%%  %s\n", n, u, va, vb, pctDelta(va, vb), verdict)
+		}
+		// Latency units present on only one side (the other section was
+		// written by an older, pre-v2 binary): note them, never gate.
+		for _, pair := range []struct {
+			have, miss map[string]float64
+			sec        string
+		}{{eb.Metrics, ea.Metrics, secB}, {ea.Metrics, eb.Metrics, secA}} {
+			var only []string
+			for u := range pair.have {
+				if _, ok := pair.miss[u]; !ok && latencyUnit(u) {
+					only = append(only, u)
+				}
+			}
+			sort.Strings(only)
+			for _, u := range only {
+				fmt.Fprintf(w, "%-45s %-12s only in %q (older schema on the other side; advisory)\n", n, u, pair.sec)
+			}
 		}
 	}
 	for n := range a {

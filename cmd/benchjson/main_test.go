@@ -104,8 +104,19 @@ func validDoc() doc {
 }
 
 func TestCheckFileValid(t *testing.T) {
-	if err := checkFile(writeDoc(t, validDoc())); err != nil {
+	v, err := checkFile(writeDoc(t, validDoc()))
+	if err != nil {
 		t.Fatalf("valid document rejected: %v", err)
+	}
+	if v != version {
+		t.Fatalf("reported version %d, want %d", v, version)
+	}
+	// Version-1 documents (committed baselines) remain valid and report
+	// their own version.
+	d := validDoc()
+	d.Version = 1
+	if v, err := checkFile(writeDoc(t, d)); err != nil || v != 1 {
+		t.Fatalf("v1 document: version %d, err %v", v, err)
 	}
 }
 
@@ -137,7 +148,7 @@ func TestCheckFileRejections(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			d := validDoc()
 			tc.mutate(&d)
-			err := checkFile(writeDoc(t, d))
+			_, err := checkFile(writeDoc(t, d))
 			if err == nil || !strings.Contains(err.Error(), tc.errWant) {
 				t.Fatalf("err = %v, want mention of %q", err, tc.errWant)
 			}
@@ -150,7 +161,7 @@ func TestCheckFileTruncatedJSON(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`{"schema": "asfstack/bench-js`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkFile(path); err == nil || !strings.Contains(err.Error(), "not valid JSON") {
+	if _, err := checkFile(path); err == nil || !strings.Contains(err.Error(), "not valid JSON") {
 		t.Fatalf("truncated JSON accepted: %v", err)
 	}
 }
@@ -277,8 +288,57 @@ func TestCompareEngineMismatch(t *testing.T) {
 
 	// checkFile rejects unknown engine spellings.
 	d.Engines = map[string]string{"current": "warp"}
-	if err := checkFile(writeDoc(t, d)); err == nil || !strings.Contains(err.Error(), "unknown engine") {
+	if _, err := checkFile(writeDoc(t, d)); err == nil || !strings.Contains(err.Error(), "unknown engine") {
 		t.Fatalf("unknown engine accepted: %v", err)
+	}
+}
+
+// TestCompareLatencyAdvisory: the v2 latency quantile units are reported
+// with their own advisory marker and never gate, however much they grow.
+func TestCompareLatencyAdvisory(t *testing.T) {
+	d := validDoc()
+	for sec, p99 := range map[string]float64{"baseline": 50_000, "current": 900_000} {
+		e := d.Sections[sec]["BenchmarkFig5"]
+		e.Metrics["p99_cyc"] = p99
+		d.Sections[sec]["BenchmarkFig5"] = e
+	}
+	var b strings.Builder
+	regressed, err := compareSections(&b, writeDoc(t, d), "baseline,current", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("latency growth gated the comparison:\n%s", b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "p99_cyc") || !strings.Contains(out, "(sim latency, advisory)") {
+		t.Fatalf("latency delta not reported as advisory:\n%s", out)
+	}
+}
+
+// TestCompareMixedSchemaLatency: comparing a pre-v2 section (no latency
+// units) against a v2 one degrades gracefully — the one-sided units are
+// noted, nothing errors, nothing gates.
+func TestCompareMixedSchemaLatency(t *testing.T) {
+	d := validDoc() // baseline stays v1-shaped: no latency units
+	e := d.Sections["current"]["BenchmarkFig5"]
+	e.Metrics["p50_cyc"] = 40_000
+	e.Metrics["p99_cyc"] = 250_000
+	d.Sections["current"]["BenchmarkFig5"] = e
+	var b strings.Builder
+	regressed, err := compareSections(&b, writeDoc(t, d), "baseline,current", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("mixed-schema compare gated:\n%s", b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "p99_cyc") || !strings.Contains(out, `only in "current"`) {
+		t.Fatalf("one-sided latency units not noted:\n%s", out)
+	}
+	if strings.Contains(out, "REGRESSED") || strings.Contains(out, "FAIL") {
+		t.Fatalf("mixed-schema compare flagged a regression:\n%s", out)
 	}
 }
 

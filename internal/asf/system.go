@@ -32,6 +32,13 @@ type System struct {
 	// map lookup.
 	pcache [pcacheSlots]pcacheEnt
 
+	// Socket topology (from the machine config): an abort probe that has
+	// to cross a socket boundary to reach its victim pays xsockLat extra
+	// cycles, like the cache's directory hops. coresPer is 0 on
+	// single-socket machines, disabling the charge entirely.
+	coresPer int
+	xsockLat uint64
+
 	met sysMetrics
 }
 
@@ -59,6 +66,10 @@ type sysMetrics struct {
 
 	// llbHigh is the high-water mark of LLB entries in use.
 	llbHigh metrics.Gauge
+
+	// xsockProbes counts conflict-abort probes that crossed a socket
+	// boundary (multi-socket topologies only).
+	xsockProbes metrics.Counter
 }
 
 // SetMetrics registers the facility's instruments with reg. Must be called
@@ -75,6 +86,7 @@ func (s *System) SetMetrics(reg *metrics.Registry) {
 	s.met.readAbort = reg.Histogram("asf/readset_lines/abort", sizes)
 	s.met.writeAbort = reg.Histogram("asf/writeset_lines/abort", sizes)
 	s.met.llbHigh = reg.Gauge("asf/llb_highwater")
+	s.met.xsockProbes = reg.Counter("asf/xsock_probes")
 }
 
 type protState struct {
@@ -90,6 +102,10 @@ func Install(m *sim.Machine, v Variant) *System {
 		m:       m,
 		variant: v,
 		prot:    make(map[mem.Addr]*protState),
+	}
+	if tp := m.Config().Topology; tp.Sockets > 1 {
+		s.coresPer = tp.CoresPerSocket
+		s.xsockLat = m.Config().Cache.XSockLat
 	}
 	for i := 0; i < m.Config().Cores; i++ {
 		u := newUnit(s, m.CPU(i))
@@ -138,6 +154,20 @@ func (s *System) protLookup(line mem.Addr) *protState {
 	return p
 }
 
+// chargeProbe adds the cross-socket latency of one conflict-abort probe
+// when requester and victim sit on different sockets. This path is only
+// reachable from full-path accesses: the epoch engine's replay windows
+// require L1 residency (dirty, for stores), which a foreign speculative
+// protection of the same line would have destroyed — so charging here
+// cannot diverge the engines.
+func (s *System) chargeProbe(c *sim.CPU, self, victim int) {
+	if s.coresPer == 0 || self/s.coresPer == victim/s.coresPer {
+		return
+	}
+	c.Cycles(s.xsockLat)
+	s.met.xsockProbes.Inc(self)
+}
+
 // onAccess is the simulator access hook: it implements conflict detection
 // (requester-wins), selective annotation, the colocation rules, and
 // read/write-set tracking. It runs on the accessing core's goroutine with
@@ -157,12 +187,14 @@ func (s *System) onAccess(c *sim.CPU, addr mem.Addr, f sim.Flags) {
 		// misreport contention as capacity).
 		if p := s.protLookup(line); p != nil {
 			if w := int(p.writer); w >= 0 && w != self {
+				s.chargeProbe(c, self, w)
 				s.units[w].asyncAbortFrom(sim.AbortContention, self, line)
 			}
 			if write {
 				rd := p.readers &^ (1 << uint(self))
 				for o := 0; rd != 0; o, rd = o+1, rd>>1 {
 					if rd&1 != 0 {
+						s.chargeProbe(c, self, o)
 						s.units[o].asyncAbortFrom(sim.AbortContention, self, line)
 					}
 				}

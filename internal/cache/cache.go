@@ -22,6 +22,8 @@
 package cache
 
 import (
+	"fmt"
+
 	"asfstack/internal/mem"
 )
 
@@ -52,7 +54,25 @@ type Config struct {
 	// consult the TLB for stores (documented quirk, §5); the default
 	// Barcelona config leaves this false to match.
 	StoresUseTLB bool
+
+	// Sockets partitions the cores into that many equal sockets (cores
+	// socket-major, see internal/topo). Each socket owns one L3 slice of
+	// L3Size bytes; lines are home-sliced by address interleaving, so a
+	// line only ever caches in its home socket's slice. 0 or 1 keeps the
+	// single-socket model byte-identical to previous behaviour.
+	Sockets int
+	// XSockLat is the extra latency, in cycles, of one cross-socket
+	// coherence-directory hop: charged when a miss must consult a remote
+	// home slice or pull a dirty line from a core on another socket, and
+	// when a write upgrade must probe holders across the socket boundary.
+	// 0 selects DefaultXSockLat when Sockets > 1; irrelevant otherwise.
+	XSockLat uint64
 }
+
+// DefaultXSockLat is the cross-socket hop latency used when Config.XSockLat
+// is zero on a multi-socket configuration: roughly one HyperTransport
+// traversal at 2.2 GHz, sitting between the L3 (50) and RAM (210) charges.
+const DefaultXSockLat = 90
 
 // Barcelona returns the configuration used throughout the paper's
 // evaluation (§5, "ASF simulator").
@@ -116,15 +136,25 @@ type Stats struct {
 	TLB1Miss       uint64
 	TLBWalks       uint64
 	Evictions      uint64
+
+	// XSockHops counts cross-socket directory hops this core's accesses
+	// paid for (each one cost XSockLat cycles); L3RemoteHits counts the
+	// subset of L3Hits served by a remote socket's home slice. Both stay
+	// zero on single-socket configurations.
+	XSockHops    uint64
+	L3RemoteHits uint64
 }
 
 // Hierarchy is the full multicore memory system.
 type Hierarchy struct {
 	cfg   Config
 	cores []*coreCaches
-	l3    *array
+	l3s   []*array // one slice per socket; index 0 is the whole L3 when single-socket
 	dir   dirTable
 	stats []Stats
+
+	sockets  int // ≥ 1
+	coresPer int // cores per socket
 
 	onEvict EvictFn
 	tick    uint64 // LRU clock
@@ -141,12 +171,28 @@ type coreCaches struct {
 	tlb2   *tlbArray
 }
 
-// New builds a hierarchy for n cores.
+// New builds a hierarchy for n cores. cfg.Sockets must divide n evenly
+// (the sim layer validates topologies before construction; this is the
+// backstop for direct users).
 func New(n int, cfg Config) *Hierarchy {
+	sockets := cfg.Sockets
+	if sockets <= 1 {
+		sockets = 1
+	}
+	if n%sockets != 0 {
+		panic(fmt.Sprintf("cache: %d cores do not partition into %d sockets", n, sockets))
+	}
+	if sockets > 1 && cfg.XSockLat == 0 {
+		cfg.XSockLat = DefaultXSockLat
+	}
 	h := &Hierarchy{
-		cfg:   cfg,
-		l3:    newArray(cfg.L3Size, cfg.L3Assoc),
-		stats: make([]Stats, n),
+		cfg:      cfg,
+		stats:    make([]Stats, n),
+		sockets:  sockets,
+		coresPer: n / sockets,
+	}
+	for s := 0; s < sockets; s++ {
+		h.l3s = append(h.l3s, newArray(cfg.L3Size, cfg.L3Assoc))
 	}
 	h.dir.init()
 	for i := 0; i < n; i++ {
@@ -175,8 +221,30 @@ func (h *Hierarchy) Occupancy(c int) (l1, l2 int) {
 	return cc.l1.nValid, cc.l2.nValid
 }
 
-// L3Occupancy reports how many lines are resident in the shared L3.
-func (h *Hierarchy) L3Occupancy() int { return h.l3.nValid }
+// L3Occupancy reports how many lines are resident across all L3 slices.
+func (h *Hierarchy) L3Occupancy() int {
+	n := 0
+	for _, a := range h.l3s {
+		n += a.nValid
+	}
+	return n
+}
+
+// sockOf returns the socket core c lives on (cores are socket-major).
+func (h *Hierarchy) sockOf(c int) int { return c / h.coresPer }
+
+// homeSock returns the socket owning line's L3 slice and directory home:
+// lines interleave round-robin across sockets by line index, a pure
+// function of the address so home assignment is deterministic.
+func (h *Hierarchy) homeSock(line mem.Addr) int {
+	if h.sockets == 1 {
+		return 0
+	}
+	return int((uint64(line) >> mem.LineShift) % uint64(h.sockets))
+}
+
+// homeSlice returns the L3 slice lines of this address cache in.
+func (h *Hierarchy) homeSlice(line mem.Addr) *array { return h.l3s[h.homeSock(line)] }
 
 // NumCores returns the number of cores the hierarchy was built for.
 func (h *Hierarchy) NumCores() int { return len(h.cores) }
@@ -231,27 +299,53 @@ func (h *Hierarchy) Access(c int, addr mem.Addr, write bool) AccessResult {
 	ls := h.state(line)
 	mask := uint64(1) << uint(c)
 
-	// L1 miss: find the line further out, then fill into L1.
+	// L1 miss: find the line further out, then fill into L1. On a
+	// multi-socket machine any path past the private L2 consults line's
+	// home directory; when that home — or a dirty owner — sits on another
+	// socket, the access pays XSockLat per boundary crossed. All of these
+	// charges live on L1-miss paths only, which the epoch engine's replay
+	// windows never cover, so both engines stay byte-identical.
+	mySock := h.sockOf(c)
 	switch {
 	case cc.l2.lookup(line) != nil:
 		res.Level = L2
 		res.Cycles += h.cfg.L2Lat
 		h.stats[c].L2Hits++
 	case ls.owner >= 0 && int(ls.owner) != c:
-		// Dirty in another core's private cache: cache-to-cache transfer.
+		// Dirty in another core's private cache: cache-to-cache transfer,
+		// routed through the home directory.
 		res.Level = Remote
 		res.Cycles += h.cfg.C2CLat
+		if h.sockets > 1 {
+			if h.homeSock(line) != mySock {
+				res.Cycles += h.cfg.XSockLat
+				h.stats[c].XSockHops++
+			}
+			if h.sockOf(int(ls.owner)) != mySock {
+				res.Cycles += h.cfg.XSockLat
+				h.stats[c].XSockHops++
+			}
+		}
 		h.stats[c].C2C++
 		h.downgrade(int(ls.owner), line, write)
-	case h.l3.lookup(line) != nil:
+	case h.homeSlice(line).lookup(line) != nil:
 		res.Level = L3
 		res.Cycles += h.cfg.L3Lat
 		h.stats[c].L3Hits++
+		if hs := h.homeSock(line); hs != mySock {
+			res.Cycles += h.cfg.XSockLat
+			h.stats[c].XSockHops++
+			h.stats[c].L3RemoteHits++
+		}
 	default:
 		res.Level = RAM
 		res.Cycles += h.cfg.MemLat
+		if h.homeSock(line) != mySock {
+			res.Cycles += h.cfg.XSockLat
+			h.stats[c].XSockHops++
+		}
 		h.stats[c].MemFills++
-		h.fill(h.l3, line)
+		h.fill(h.homeSlice(line), line)
 	}
 
 	if write {
@@ -275,6 +369,26 @@ func (h *Hierarchy) upgrade(c int, line mem.Addr, ls *lineState) uint64 {
 	others := ls.holders &^ (1 << uint(c))
 	if others != 0 || (ls.owner >= 0 && int(ls.owner) != c) {
 		cost = h.cfg.L1Lat * 8 // invalidation probe round-trip
+		if h.sockets > 1 {
+			// One extra hop if any holder (or the dirty owner) sits on
+			// another socket: the probes fan out in parallel over the
+			// socket link, so the boundary is paid once, not per core.
+			// A store replay requires the dirty bit, which implies
+			// exclusive ownership and an empty probe set — so this
+			// charge, like the miss-path ones, is unreachable from the
+			// epoch engine's fast path.
+			mySock := h.sockOf(c)
+			cross := ls.owner >= 0 && int(ls.owner) != c && h.sockOf(int(ls.owner)) != mySock
+			for o, rem := 0, others; !cross && rem != 0; o, rem = o+1, rem>>1 {
+				if rem&1 != 0 && h.sockOf(o) != mySock {
+					cross = true
+				}
+			}
+			if cross {
+				cost += h.cfg.XSockLat
+				h.stats[c].XSockHops++
+			}
+		}
 	}
 	for o := 0; others != 0; o++ {
 		if others&1 != 0 {
@@ -291,13 +405,14 @@ func (h *Hierarchy) upgrade(c int, line mem.Addr, ls *lineState) uint64 {
 }
 
 // downgrade handles a remote probe hitting core o's dirty line: the data is
-// written back (to L3 in this model). If forWrite, the copy is invalidated.
+// written back (to the line's home L3 slice in this model). If forWrite,
+// the copy is invalidated.
 func (h *Hierarchy) downgrade(o int, line mem.Addr, forWrite bool) {
 	ls := h.state(line)
 	if int(ls.owner) == o {
 		ls.owner = -1
 	}
-	h.fill(h.l3, line)
+	h.fill(h.homeSlice(line), line)
 	if forWrite {
 		h.invalidate(o, line)
 	} else {
@@ -374,13 +489,13 @@ func (h *Hierarchy) fillPrivate(c int, line mem.Addr, dirty bool) {
 }
 
 // dropFromPrivate handles a line leaving the private hierarchy entirely
-// (L2 victim): write back to L3 and report the eviction.
+// (L2 victim): write back to its home L3 slice and report the eviction.
 func (h *Hierarchy) dropFromPrivate(c int, v entry) {
 	if h.cores[c].l1.lookup(v.line) != nil {
 		// Still in L1 (non-inclusive); the private copy survives.
 		return
 	}
-	h.fill(h.l3, v.line)
+	h.fill(h.homeSlice(v.line), v.line)
 	ls := h.state(v.line)
 	ls.holders &^= 1 << uint(c)
 	if int(ls.owner) == c {
@@ -461,7 +576,7 @@ func (h *Hierarchy) FlushPrivate(c int) {
 	cc.l1.forEach(func(e *entry) { lines = append(lines, e.line) })
 	cc.l2.forEach(func(e *entry) { lines = append(lines, e.line) })
 	for _, line := range lines {
-		h.fill(h.l3, line)
+		h.fill(h.homeSlice(line), line)
 		cc.l1.remove(line)
 		cc.l2.remove(line)
 		ls := h.state(line)

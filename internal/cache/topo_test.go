@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"testing"
+
+	"asfstack/internal/mem"
+)
+
+// lineAddr returns the address of the i-th cache line.
+func lineAddr(i int) mem.Addr { return mem.Addr(i << mem.LineShift) }
+
+// homeLine finds a line whose home is socket s under h (address
+// interleaving makes this a simple stride search).
+func homeLine(h *Hierarchy, s int, from int) mem.Addr {
+	for i := from; ; i++ {
+		if h.homeSock(lineAddr(i)) == s {
+			return lineAddr(i)
+		}
+	}
+}
+
+// TestSingleSocketUnchanged pins that Sockets=1 (and the zero value) costs
+// exactly what the historical single-socket model costs and records no
+// socket counters.
+func TestSingleSocketUnchanged(t *testing.T) {
+	cfg := Barcelona()
+	for _, sockets := range []int{0, 1} {
+		cfg.Sockets = sockets
+		h := New(8, cfg)
+		a := lineAddr(100)
+		// Cold miss → RAM, no hop charge.
+		r := h.Access(0, a, false)
+		if want := h.tlbCost(t) + cfg.MemLat; r.Cycles != want {
+			t.Fatalf("sockets=%d: cold miss cost %d, want %d", sockets, r.Cycles, want)
+		}
+		if st := h.Stats(0); st.XSockHops != 0 || st.L3RemoteHits != 0 {
+			t.Fatalf("sockets=%d: socket counters moved: %+v", sockets, st)
+		}
+	}
+}
+
+// tlbCost returns the cost of the cold TLB walk the first load pays.
+func (h *Hierarchy) tlbCost(t *testing.T) uint64 {
+	t.Helper()
+	return h.cfg.WalkLat
+}
+
+// TestCrossSocketCharges exercises the three cross-socket paths: RAM fill
+// with a remote home, remote-slice L3 hit, and cross-socket dirty transfer.
+func TestCrossSocketCharges(t *testing.T) {
+	cfg := Barcelona()
+	cfg.Sockets = 2
+	cfg.XSockLat = 77
+	h := New(8, cfg) // sockets {0..3} and {4..7}
+
+	local := homeLine(h, 0, 100)  // home = socket 0 (core 0's socket)
+	remote := homeLine(h, 1, 192) // home = socket 1, in a fresh page (64 lines/page)
+
+	// Cold miss, local home: MemLat only (plus TLB walk).
+	r := h.Access(0, local, false)
+	if want := cfg.WalkLat + cfg.MemLat; r.Cycles != want {
+		t.Fatalf("local cold miss: %d, want %d", r.Cycles, want)
+	}
+	// Cold miss, remote home: one hop on top.
+	r = h.Access(0, remote, false)
+	if want := cfg.WalkLat + cfg.MemLat + cfg.XSockLat; r.Cycles != want {
+		t.Fatalf("remote cold miss: %d, want %d", r.Cycles, want)
+	}
+	if st := h.Stats(0); st.XSockHops != 1 {
+		t.Fatalf("XSockHops = %d, want 1", st.XSockHops)
+	}
+
+	// remote is now in socket 1's slice (RAM fill) and core 0's L1. A
+	// core on socket 1 whose L1/L2 miss finds it in its *local* home
+	// slice: plain L3 hit, no hop, no remote-hit count.
+	r = h.Access(4, remote, false)
+	if r.Level != L3 {
+		t.Fatalf("socket-1 access level = %v, want L3", r.Level)
+	}
+	if want := cfg.WalkLat + cfg.L3Lat; r.Cycles != want {
+		t.Fatalf("local-slice L3 hit: %d, want %d", r.Cycles, want)
+	}
+	// Another socket-0 core missing on remote: L3 hit in the remote home
+	// slice → L3Lat + hop, counted as a remote hit.
+	r = h.Access(1, remote, false)
+	if r.Level != L3 {
+		t.Fatalf("cross-socket L3 level = %v, want L3", r.Level)
+	}
+	if want := cfg.WalkLat + cfg.L3Lat + cfg.XSockLat; r.Cycles != want {
+		t.Fatalf("remote-slice L3 hit: %d, want %d", r.Cycles, want)
+	}
+	if st := h.Stats(1); st.L3RemoteHits != 1 || st.XSockHops != 1 {
+		t.Fatalf("core 1 socket counters: %+v", st)
+	}
+
+	// Dirty transfer across the boundary: core 4 (socket 1) dirties a
+	// socket-1-homed line; core 0 (socket 0) reads it → C2C + two hops
+	// (home directory and owner both on the far socket).
+	dirty := homeLine(h, 1, 200)
+	h.Access(4, dirty, true)
+	before := h.Stats(0).XSockHops
+	r = h.Access(0, dirty, false)
+	if r.Level != Remote {
+		t.Fatalf("dirty transfer level = %v, want Remote", r.Level)
+	}
+	if got := h.Stats(0).XSockHops - before; got != 2 {
+		t.Fatalf("dirty cross-socket hops = %d, want 2", got)
+	}
+}
+
+// TestCrossSocketUpgrade pins the single extra hop a write upgrade pays
+// when any holder sits on another socket.
+func TestCrossSocketUpgrade(t *testing.T) {
+	cfg := Barcelona()
+	cfg.Sockets = 2
+	cfg.XSockLat = 77
+	h := New(8, cfg)
+
+	line := homeLine(h, 0, 300)
+	h.Access(0, line, false) // socket 0 holds it
+	h.Access(4, line, false) // socket 1 holds it too
+	before := h.Stats(0).XSockHops
+	h.Access(0, line, true) // upgrade must probe across the boundary
+	if got := h.Stats(0).XSockHops - before; got != 1 {
+		t.Fatalf("upgrade cross-socket hops = %d, want 1", got)
+	}
+
+	// Same-socket sharers only: no hop.
+	line2 := homeLine(h, 0, 400)
+	h.Access(0, line2, false)
+	h.Access(1, line2, false)
+	before = h.Stats(0).XSockHops
+	h.Access(0, line2, true)
+	if got := h.Stats(0).XSockHops - before; got != 0 {
+		t.Fatalf("same-socket upgrade hops = %d, want 0", got)
+	}
+}
+
+// TestUnevenSocketsPanics pins the constructor backstop.
+func TestUnevenSocketsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(7 cores, 2 sockets) did not panic")
+		}
+	}()
+	cfg := Barcelona()
+	cfg.Sockets = 2
+	New(7, cfg)
+}

@@ -142,3 +142,49 @@ func TestHybridSmokeTiny(t *testing.T) {
 		t.Fatal("no cell recorded concurrent software commits")
 	}
 }
+
+// TestServerSmokeTiny executes E16 at a very small scale: every cell must
+// complete, the latency quantiles must be populated, monotone, and present
+// in the report's sim sections, and the multi-socket cells must record
+// cross-socket directory traffic.
+func TestServerSmokeTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	rep, err := RunReport("server", Options{Scale: 0.02, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCells := len(serverTopologies) * len(serverRuntimes) * len(serverLoads)
+	if len(rep.Cells) != nCells {
+		t.Fatalf("cells = %d, want %d", len(rep.Cells), nCells)
+	}
+	// One quantile table per topology + per-socket hops + ranking + abort
+	// attribution.
+	if want := len(serverTopologies) + 3; len(rep.Tables) != want {
+		t.Fatalf("tables = %d, want %d", len(rep.Tables), want)
+	}
+	xsockSeen := false
+	for _, c := range rep.Cells {
+		if c.Err != "" {
+			t.Fatalf("cell %q failed: %s", c.Label, c.Err)
+		}
+		s := c.Sim
+		if !(s.P50Cycles > 0 && s.P50Cycles <= s.P95Cycles &&
+			s.P95Cycles <= s.P99Cycles && s.P99Cycles <= s.P999Cycles) {
+			t.Fatalf("cell %q: bad quantiles p50=%v p95=%v p99=%v p999=%v",
+				c.Label, s.P50Cycles, s.P95Cycles, s.P99Cycles, s.P999Cycles)
+		}
+		g, _ := s.Metrics.Gauge("cache/xsock_hops")
+		if strings.Contains(c.Label, "1x8") {
+			if g.Total != 0 {
+				t.Fatalf("cell %q: single-socket cell recorded %d cross-socket hops", c.Label, g.Total)
+			}
+		} else if g.Total > 0 {
+			xsockSeen = true
+		}
+	}
+	if !xsockSeen {
+		t.Fatal("no multi-socket cell recorded cross-socket hops")
+	}
+}

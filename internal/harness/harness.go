@@ -87,7 +87,7 @@ func progf(w Progress, format string, args ...any) {
 
 // Experiment names accepted by Run, in paper order; the extension
 // experiments (E11+) follow the paper's figures.
-var Names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "hybrid", "litmus", "adaptive", "txprof", "grid64"}
+var Names = []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table1", "hybrid", "litmus", "adaptive", "txprof", "grid64", "server"}
 
 // Descriptions maps each experiment in Names to the one-line summary
 // cmd/asfbench -list prints.
@@ -104,6 +104,7 @@ var Descriptions = map[string]string{
 	"adaptive": "E13: static-vs-adaptive runtime selection — four statics vs the online selector, with its decision log",
 	"txprof":   "E14: wasted-work accounting — flight-recorder profiles for every runtime on the Fig. 5 cells",
 	"grid64":   "E15: 64-core grid — Fig. 5 large panels and the E13 runtime field widened to 64 threads, plus the epoch-length sweep",
+	"server":   "E16: open-loop server — sojourn-time quantiles per (runtime × topology × load), multi-socket topologies, overload tail",
 }
 
 // Run executes one named experiment and returns its tables in figure
@@ -150,6 +151,8 @@ func runExperiment(name string, o Options) ([]*Table, error) {
 		return Txprof(o)
 	case "grid64":
 		return Grid64(o)
+	case "server":
+		return Server(o)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (want one of %v)", name, Names)
 	}

@@ -18,8 +18,11 @@ import (
 const (
 	// ReportSchema identifies a BenchReport document.
 	ReportSchema = "asfstack/bench-report"
-	// ReportVersion is the current schema version.
-	ReportVersion = 1
+	// ReportVersion is the current schema version. Version 2 added the
+	// open-loop sojourn-time quantile fields (p50_cyc … p999_cyc) to
+	// CellSim; consumers accept 1..ReportVersion and treat the latency
+	// fields as absent in older documents.
+	ReportVersion = 2
 )
 
 // BenchReport is the machine-readable result of one asfbench invocation:
@@ -104,6 +107,15 @@ type CellSim struct {
 	BusyCycles   uint64  `json:"busy_cycles"`
 	WastedPct    float64 `json:"wasted_pct"`
 
+	// Sojourn-time quantiles (simulated cycles, arrival → commit) for
+	// open-loop server cells (E16); all zero elsewhere. Deterministic —
+	// they come from the sojourn histogram in the metrics snapshot.
+	// Schema version 2.
+	P50Cycles  float64 `json:"p50_cyc,omitempty"`
+	P95Cycles  float64 `json:"p95_cyc,omitempty"`
+	P99Cycles  float64 `json:"p99_cyc,omitempty"`
+	P999Cycles float64 `json:"p999_cyc,omitempty"`
+
 	// Switches is the adaptive selector's per-window decision log when the
 	// cell ran an Adaptive runtime (E13's machine-readable form).
 	Switches []adaptive.Switch `json:"switches,omitempty"`
@@ -163,6 +175,18 @@ func (rec *CellRecord) ObserveBreakdown(b sim.Breakdown) {
 	if busy > 0 {
 		rec.sim.WastedPct = 100 * float64(b[sim.CatAbort]) / float64(busy)
 	}
+}
+
+// ObserveLatency records the cell's sojourn-time quantiles (open-loop
+// server cells). Call after Observe.
+func (rec *CellRecord) ObserveLatency(p50, p95, p99, p999 float64) {
+	if rec == nil || rec.sim == nil {
+		return
+	}
+	rec.sim.P50Cycles = p50
+	rec.sim.P95Cycles = p95
+	rec.sim.P99Cycles = p99
+	rec.sim.P999Cycles = p999
 }
 
 // ObserveSwitches attaches the adaptive selector's decision log (no-op on

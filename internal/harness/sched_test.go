@@ -80,7 +80,7 @@ func TestCrossEngineExperimentDeterminism(t *testing.T) {
 	// identity must hold at any scale, so small is as strong as large.
 	scales := map[string]float64{
 		"fig4": 0.02, "fig6": 0.02, "adaptive": 0.02, "txprof": 0.03,
-		"grid64": 0.01, "litmus": 0.02,
+		"grid64": 0.01, "litmus": 0.02, "server": 0.02,
 	}
 	for _, name := range Names {
 		name := name

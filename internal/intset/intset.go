@@ -17,6 +17,7 @@ import (
 	"asfstack/internal/metrics"
 	"asfstack/internal/sim"
 	"asfstack/internal/tm"
+	"asfstack/internal/topo"
 	"asfstack/internal/txlib"
 	"asfstack/internal/txprof"
 )
@@ -54,6 +55,10 @@ type Config struct {
 	// EpochLen overrides the epoch length for the epoch engine (0 keeps
 	// the default).
 	EpochLen uint64
+	// Topology is the socket layout ("2x8"; see internal/topo); empty runs
+	// single-socket. When set, Threads must be zero (derived from the
+	// topology) or equal its total.
+	Topology string
 }
 
 // Result carries the measurements a run produces.
@@ -138,10 +143,22 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 42
 	}
+	if cfg.Topology != "" {
+		tp, err := topo.Parse(cfg.Topology)
+		if err != nil {
+			return Result{}, fmt.Errorf("intset: %w", err)
+		}
+		if cfg.Threads != 0 && cfg.Threads != tp.Total() {
+			return Result{}, fmt.Errorf("intset: %d threads conflict with topology %s (%d cores)",
+				cfg.Threads, tp, tp.Total())
+		}
+		cfg.Threads = tp.Total()
+	}
 	s := asfstack.New(asfstack.Options{
 		Cores:    cfg.Threads,
 		Runtime:  cfg.Runtime,
 		Seed:     cfg.Seed,
+		Topology: cfg.Topology,
 		Profile:  cfg.Profile,
 		Engine:   cfg.Engine,
 		EpochLen: cfg.EpochLen,

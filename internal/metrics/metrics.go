@@ -23,6 +23,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -292,6 +293,57 @@ type HistSnap struct {
 	Sum     uint64     `json:"sum"`
 	Count   uint64     `json:"count"`
 	Max     uint64     `json:"max"`
+}
+
+// Quantile estimates the p-quantile (0 < p ≤ 1) of the histogram from its
+// bucket counts. Within the bucket holding the target rank it interpolates
+// log-linearly — latency histograms use geometric (powers-of-two) bounds,
+// where log-space interpolation is unbiased; the first bucket (lower edge
+// 0) degrades to linear. The overflow bucket's upper edge is the observed
+// Max. Returns 0 on an empty histogram; p outside (0,1] clamps.
+func (h HistSnap) Quantile(p float64) float64 {
+	if h.Count == 0 || p <= 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(h.Count)
+	var cum uint64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		if float64(cum)+float64(n) >= target {
+			var lo, hi float64
+			if i > 0 {
+				lo = float64(h.Bounds[i-1])
+			}
+			if i < len(h.Bounds) {
+				hi = float64(h.Bounds[i])
+			} else {
+				hi = float64(h.Max)
+				if hi < lo {
+					hi = lo
+				}
+			}
+			frac := (target - float64(cum)) / float64(n)
+			var q float64
+			if lo <= 0 {
+				q = lo + (hi-lo)*frac
+			} else {
+				q = lo * math.Pow(hi/lo, frac)
+			}
+			// No observation exceeds Max, so neither can a quantile —
+			// relevant when Max sits below its bucket's upper bound.
+			if max := float64(h.Max); q > max {
+				q = max
+			}
+			return q
+		}
+		cum += n
+	}
+	return float64(h.Max)
 }
 
 // Snapshot deep-copies the registry state in registration order.

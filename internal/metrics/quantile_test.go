@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+// TestQuantileGolden pins the interpolation math against hand-computed
+// values: log-linear inside geometric buckets, linear in the zero-edged
+// first bucket, Max-capped in the overflow bucket.
+func TestQuantileGolden(t *testing.T) {
+	h := HistSnap{
+		Bounds: []uint64{1, 2, 4, 8},
+		Counts: []uint64{0, 0, 4, 4, 0},
+		Count:  8,
+		Max:    8,
+	}
+	// Rank 4 of 8 lands at the top of the (2,4] bucket.
+	approx(t, "Q(0.5)", h.Quantile(0.5), 4)
+	// Rank 2 is halfway through (2,4] in rank space: 2·(4/2)^0.5.
+	approx(t, "Q(0.25)", h.Quantile(0.25), 2*math.Sqrt2)
+	approx(t, "Q(1.0)", h.Quantile(1), 8)
+	// p clamps above 1 and floors at 0 below.
+	approx(t, "Q(1.5)", h.Quantile(1.5), 8)
+	approx(t, "Q(0)", h.Quantile(0), 0)
+	approx(t, "Q(-1)", h.Quantile(-1), 0)
+
+	// First bucket has lower edge 0: linear interpolation.
+	first := HistSnap{Bounds: []uint64{10, 100}, Counts: []uint64{4, 0, 0}, Count: 4, Max: 9}
+	approx(t, "first-bucket Q(0.5)", first.Quantile(0.5), 5)
+
+	// Overflow bucket interpolates toward the observed Max.
+	over := HistSnap{Bounds: []uint64{1, 2}, Counts: []uint64{0, 0, 2}, Count: 2, Max: 100}
+	approx(t, "overflow Q(0.5)", over.Quantile(0.5), 2*math.Sqrt(50))
+	approx(t, "overflow Q(1.0)", over.Quantile(1), 100)
+
+	var empty HistSnap
+	approx(t, "empty Q(0.99)", empty.Quantile(0.99), 0)
+}
+
+// TestQuantileFromRegistry drives the full path: observe through a
+// registered histogram, snapshot, and check quantiles are ordered and
+// bracket the observed range.
+func TestQuantileFromRegistry(t *testing.T) {
+	r := New(2)
+	h := r.Histogram("lat", PowersOfTwo(12))
+	for i := uint64(1); i <= 1000; i++ {
+		h.Observe(int(i%2), i)
+	}
+	hs, ok := r.Snapshot().Histogram("lat")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	var prev float64
+	for _, p := range []float64{0.5, 0.95, 0.99, 0.999} {
+		q := hs.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantiles not monotone: Q(%v) = %v < %v", p, q, prev)
+		}
+		if q <= 0 || q > float64(hs.Max) {
+			t.Fatalf("Q(%v) = %v outside (0, %d]", p, q, hs.Max)
+		}
+		prev = q
+	}
+	// The true median of 1..1000 is 500.5; bucket interpolation must land
+	// in the right bucket (256, 512].
+	if q := hs.Quantile(0.5); q < 256 || q > 512 {
+		t.Fatalf("median %v outside its bucket (256,512]", q)
+	}
+}

@@ -46,6 +46,7 @@ import (
 
 	"asfstack/internal/cache"
 	"asfstack/internal/mem"
+	"asfstack/internal/topo"
 )
 
 // Config describes the simulated machine.
@@ -54,6 +55,14 @@ type Config struct {
 	ClockHz uint64 // core clock; the paper simulates 2.2 GHz
 
 	Cache cache.Config
+
+	// Topology partitions the cores into sockets (e.g. topo "2x8": two
+	// sockets of eight cores, each with its own L3 slice, cross-socket
+	// directory hops charged per cache.Config.XSockLat). The zero value
+	// keeps the paper's single-socket machine. When set, Total() must
+	// equal Cores; New validates and copies the socket count into the
+	// cache configuration.
+	Topology topo.Topology
 
 	IssueWidth int // superscalar width for Exec batching (Barcelona: 3)
 
@@ -200,6 +209,18 @@ func New(cfg Config) *Machine {
 	}
 	if cfg.EpochLen == 0 {
 		cfg.EpochLen = DefaultEpochLen
+	}
+	if !cfg.Topology.IsZero() {
+		if cfg.Topology.Total() != cfg.Cores {
+			panic(fmt.Sprintf("sim: topology %s has %d cores, config has %d",
+				cfg.Topology, cfg.Topology.Total(), cfg.Cores))
+		}
+		cfg.Cache.Sockets = cfg.Topology.Sockets
+		if cfg.Topology.Sockets > 1 && cfg.Cache.XSockLat == 0 {
+			// Resolve the default here too so Config() readers (the ASF
+			// conflict-probe charging) see the effective latency.
+			cfg.Cache.XSockLat = cache.DefaultXSockLat
+		}
 	}
 	m := &Machine{
 		cfg:  cfg,

@@ -18,6 +18,7 @@ import (
 	"asfstack/internal/metrics"
 	"asfstack/internal/sim"
 	"asfstack/internal/tm"
+	"asfstack/internal/topo"
 	"asfstack/internal/txprof"
 )
 
@@ -68,6 +69,10 @@ type Config struct {
 	// EpochLen overrides the epoch length for the epoch engine (0 keeps
 	// the default).
 	EpochLen uint64
+	// Topology is the socket layout ("2x8"; see internal/topo); empty runs
+	// single-socket. When set, Threads must be zero (derived from the
+	// topology) or equal its total.
+	Topology string
 }
 
 // Result carries the measurements of a run.
@@ -128,6 +133,17 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Seed == 0 && !cfg.SeedSet {
 		cfg.Seed = 42
 	}
+	if cfg.Topology != "" {
+		tp, err := topo.Parse(cfg.Topology)
+		if err != nil {
+			return Result{}, fmt.Errorf("stamp: %w", err)
+		}
+		if cfg.Threads != 0 && cfg.Threads != tp.Total() {
+			return Result{}, fmt.Errorf("stamp: %d threads conflict with topology %s (%d cores)",
+				cfg.Threads, tp, tp.Total())
+		}
+		cfg.Threads = tp.Total()
+	}
 	app, err := New(cfg.App, cfg.Threads, cfg.Scale)
 	if err != nil {
 		return Result{}, err
@@ -145,10 +161,11 @@ func Run(cfg Config) (Result, error) {
 		mc.EpochLen = cfg.EpochLen
 	}
 	opts := asfstack.Options{
-		Cores:   cfg.Threads,
-		Runtime: cfg.Runtime,
-		Machine: &mc,
-		Profile: cfg.Profile,
+		Cores:    cfg.Threads,
+		Runtime:  cfg.Runtime,
+		Topology: cfg.Topology,
+		Machine:  &mc,
+		Profile:  cfg.Profile,
 	}
 	s := asfstack.New(opts)
 	s.Setup(func(tx tm.Tx) { app.Setup(s, tx, cfg.Threads) })

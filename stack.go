@@ -33,6 +33,7 @@ import (
 	"asfstack/internal/sim"
 	"asfstack/internal/stm"
 	"asfstack/internal/tm"
+	"asfstack/internal/topo"
 	"asfstack/internal/txprof"
 )
 
@@ -56,8 +57,14 @@ type Options struct {
 	// HeapPerCore sizes each core's allocation arena in bytes
 	// (default 64 MiB).
 	HeapPerCore uint64
+	// Topology selects the socket layout ("2x8": two sockets of eight
+	// cores, per-socket L3 slices, cross-socket hop latency; see
+	// internal/topo). Empty keeps the single-socket machine. When set,
+	// Cores must be zero or equal the topology's total; it takes
+	// precedence over any topology in Machine.
+	Topology string
 	// Machine, if non-nil, overrides the default Barcelona configuration
-	// (Cores, Seed, and Engine above still apply).
+	// (Cores, Seed, Topology and Engine above still apply).
 	Machine *sim.Config
 	// Engine selects the simulator execution engine (serial or epoch).
 	// Simulated results are identical either way; see sim.Engine. A
@@ -124,6 +131,7 @@ type stackGauges struct {
 	tlb1Miss, tlbWalks     metrics.Gauge
 	evictions              metrics.Gauge
 	l1Resident, l2Resident metrics.Gauge
+	xsockHops, l3Remote    metrics.Gauge
 
 	tmCommits, tmSerial metrics.Gauge
 	tmAborts            [sim.NumAbortReasons]metrics.Gauge
@@ -150,6 +158,8 @@ func (g *stackGauges) register(reg *metrics.Registry) {
 	g.evictions = reg.Gauge("cache/evictions")
 	g.l1Resident = reg.Gauge("cache/l1_resident_lines")
 	g.l2Resident = reg.Gauge("cache/l2_resident_lines")
+	g.xsockHops = reg.Gauge("cache/xsock_hops")
+	g.l3Remote = reg.Gauge("cache/l3_remote_hits")
 
 	g.tmCommits = reg.Gauge("tm/commits")
 	g.tmSerial = reg.Gauge("tm/serial")
@@ -166,6 +176,19 @@ func (g *stackGauges) register(reg *metrics.Registry) {
 // New builds a stack. It panics on configuration errors (these are
 // programming mistakes, not runtime conditions).
 func New(opts Options) *Stack {
+	var tp topo.Topology
+	if opts.Topology != "" {
+		var err error
+		tp, err = topo.Parse(opts.Topology)
+		if err != nil {
+			panic(fmt.Sprintf("asfstack: %v", err))
+		}
+		if opts.Cores > 0 && opts.Cores != tp.Total() {
+			panic(fmt.Sprintf("asfstack: %d cores conflict with topology %s (%d cores)",
+				opts.Cores, tp, tp.Total()))
+		}
+		opts.Cores = tp.Total()
+	}
 	if opts.Cores <= 0 {
 		opts.Cores = 1
 	}
@@ -176,6 +199,9 @@ func New(opts Options) *Stack {
 	if opts.Machine != nil {
 		cfg = *opts.Machine
 		cfg.Cores = opts.Cores
+	}
+	if !tp.IsZero() {
+		cfg.Topology = tp
 	}
 	if opts.Seed != 0 {
 		cfg.Seed = opts.Seed
@@ -371,6 +397,8 @@ func (s *Stack) fillGauges() {
 		l1, l2 := s.M.Hier.Occupancy(i)
 		s.gauges.l1Resident.Set(i, uint64(l1))
 		s.gauges.l2Resident.Set(i, uint64(l2))
+		s.gauges.xsockHops.Set(i, cs.XSockHops)
+		s.gauges.l3Remote.Set(i, cs.L3RemoteHits)
 
 		st := s.RT.Stats(i)
 		s.gauges.tmCommits.Set(i, st.Commits)
